@@ -1,0 +1,86 @@
+"""Fig. 8: performance scaling with the temporal blocking degree on V100.
+
+Sweeps bT for first-order star and box stencils in 2D (bT = 1..16) and 3D
+(bT = 1..8), single precision, keeping the tuned spatial parameters fixed and
+re-tuning only the register limit — exactly the protocol of Section 7.3.
+Reports both the simulated ("Tuned") and the analytic ("Model") series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import evaluation_grid, format_table, report
+from repro.core.config import BlockingConfig
+from repro.model.gpu_specs import get_gpu
+from repro.model.roofline import predict_performance
+from repro.sim.timing import TimingSimulator
+from repro.stencils.library import load_pattern
+from repro.tuning.search_space import REGISTER_LIMITS
+
+CASES_2D = {"star2d1r": (256,), "box2d1r": (256,)}
+CASES_3D = {"star3d1r": (32, 32), "box3d1r": (32, 32)}
+
+
+def sweep(name: str, bS, bT_range, hS):
+    pattern = load_pattern(name, "float")
+    grid = evaluation_grid(pattern.ndim)
+    gpu = get_gpu("V100")
+    simulator = TimingSimulator(gpu)
+    series = []
+    for bT in bT_range:
+        config = BlockingConfig(bT=bT, bS=bS, hS=hS)
+        if not config.is_valid(pattern):
+            continue
+        best = max(
+            simulator.simulate(pattern, grid, config.with_register_limit(limit)).gflops
+            for limit in REGISTER_LIMITS
+        )
+        model = predict_performance(pattern, grid, config, gpu).gflops
+        series.append((bT, round(best), round(model)))
+    return series
+
+
+def test_fig8_scaling_2d(benchmark):
+    results = benchmark.pedantic(
+        lambda: {name: sweep(name, bS, range(1, 17), 512) for name, bS in CASES_2D.items()},
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for name, series in results.items():
+        for bT, tuned, model in series:
+            rows.append((name, bT, tuned, model))
+    table = format_table(["stencil", "bT", "Tuned GFLOP/s", "Model GFLOP/s"], rows)
+    report("fig8_2d", "Fig. 8 (left): 2D scaling with bT on V100 (float, rad=1)", table)
+
+    for name, series in results.items():
+        tuned = {bT: value for bT, value, _ in series}
+        peak_bt = max(tuned, key=tuned.get)
+        # 2D stencils keep scaling up to roughly bT = 10 (Section 7.3).
+        assert 6 <= peak_bt <= 14, name
+        assert tuned[peak_bt] > 1.5 * tuned[1], name
+        # The model curve is an upper bound everywhere.
+        assert all(model >= tuned_value for _, tuned_value, model in series), name
+
+
+def test_fig8_scaling_3d(benchmark):
+    results = benchmark.pedantic(
+        lambda: {name: sweep(name, bS, range(1, 9), 128) for name, bS in CASES_3D.items()},
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for name, series in results.items():
+        for bT, tuned, model in series:
+            rows.append((name, bT, tuned, model))
+    table = format_table(["stencil", "bT", "Tuned GFLOP/s", "Model GFLOP/s"], rows)
+    report("fig8_3d", "Fig. 8 (right): 3D scaling with bT on V100 (float, rad=1)", table)
+
+    star = {bT: value for bT, value, _ in results["star3d1r"]}
+    box = {bT: value for bT, value, _ in results["box3d1r"]}
+    # 3D star stencils peak around bT = 3-5, 3D box stencils around bT = 2-3.
+    assert 2 <= max(star, key=star.get) <= 6
+    assert 1 <= max(box, key=box.get) <= 4
+    # Scaling is worthwhile relative to no temporal blocking.
+    assert max(star.values()) > star[1]

@@ -1,0 +1,67 @@
+"""Fig. 9: performance of star/box stencils from first to fourth order.
+
+Tunes every synthetic stencil on Tesla V100 (single precision by default,
+double precision too under ``AN5D_BENCH_FULL=1``) and reports the best
+temporal blocking degree and the achieved performance per stencil order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import FULL_SWEEP, evaluation_grid, format_table, report
+from repro.stencils.library import load_pattern
+from repro.tuning.autotuner import AutoTuner
+
+DTYPES = ("float", "double") if FULL_SWEEP else ("float",)
+FAMILIES = ("star2d", "box2d", "star3d", "box3d")
+
+
+def sweep(dtype: str):
+    tuner = AutoTuner("V100", top_k=3)
+    rows = []
+    for family in FAMILIES:
+        for radius in (1, 2, 3, 4):
+            name = f"{family}{radius}r"
+            pattern = load_pattern(name, dtype)
+            result = tuner.tune(pattern, evaluation_grid(pattern.ndim))
+            rows.append(
+                (
+                    family,
+                    radius,
+                    result.best_config.bT,
+                    round(result.best.measured_gflops),
+                    round(result.best.predicted_gflops),
+                )
+            )
+    return rows
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+def test_fig9_order_scaling(benchmark, dtype):
+    rows = benchmark.pedantic(sweep, args=(dtype,), rounds=1, iterations=1)
+    table = format_table(["family", "radius", "best bT", "Tuned GFLOP/s", "Model GFLOP/s"], rows)
+    report(f"fig9_{dtype}", f"Fig. 9: star/box stencils by order (V100, {dtype})", table)
+
+    best_bt = {(family, radius): bT for family, radius, bT, _, _ in rows}
+    gflops = {(family, radius): tuned for family, radius, _, tuned, _ in rows}
+
+    # First-order stencils reach their best performance with high temporal
+    # blocking degrees (2D: 8-15, 3D: 3-5).
+    assert best_bt[("star2d", 1)] >= 6
+    assert 2 <= best_bt[("star3d", 1)] <= 6
+    # Optimal bT decreases monotonically-ish with the stencil order.
+    for family in FAMILIES:
+        assert best_bt[(family, 1)] >= best_bt[(family, 4)], family
+    # High-order 3D box stencils do not benefit from temporal blocking.
+    assert best_bt[("box3d", 4)] <= 2
+    assert best_bt[("box3d", 3)] <= 2
+    # Most 2D and 3D-star cases still pick bT >= 2 (Section 7.3).
+    multi_degree = [
+        best_bt[(family, radius)] >= 2
+        for family in ("star2d", "box2d", "star3d")
+        for radius in (1, 2, 3, 4)
+    ]
+    assert sum(multi_degree) >= 9
+    # GFLOP/s of box stencils grows with order (more FLOPs per byte).
+    assert gflops[("box2d", 4)] > gflops[("box2d", 1)]

@@ -1,0 +1,76 @@
+"""Table 1: shared-memory footprint and stores per cell, STENCILGEN vs AN5D.
+
+Regenerates the comparison table for representative stencil classes
+(diagonal-access-free, associative box, general) and checks the paper's
+claims: AN5D's footprint is constant in bT (double buffering) while
+STENCILGEN's grows linearly, and both store the same number of cells.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import format_table, report
+from repro.core.config import BlockingConfig
+from repro.core.shared_memory import an5d_shared_memory_plan, stencilgen_shared_memory_plan
+from repro.stencils.library import load_pattern
+
+CASES = [
+    ("diagonal-access free", "star2d2r", {}),
+    ("associative box", "box2d2r", {}),
+    ("otherwise (general)", "gradient2d", {"star_opt": False, "associative_opt": False}),
+]
+
+
+def build_rows(bT: int = 4, nthr: int = 256):
+    rows = []
+    for label, name, overrides in CASES:
+        pattern = load_pattern(name)
+        config = BlockingConfig(bT=bT, bS=(nthr,), **overrides)
+        ours = an5d_shared_memory_plan(pattern, config)
+        theirs = stencilgen_shared_memory_plan(pattern, config)
+        rows.append(
+            (
+                label,
+                name,
+                theirs.words_per_block,
+                ours.words_per_block,
+                theirs.stores_per_cell,
+                ours.stores_per_cell,
+                f"{theirs.words_per_block / ours.words_per_block:.1f}x",
+            )
+        )
+    return rows
+
+
+def test_table1_shared_memory(benchmark):
+    rows = benchmark(build_rows)
+    table = format_table(
+        [
+            "stencil class",
+            "example",
+            "STENCILGEN words/block",
+            "AN5D words/block",
+            "SG stores/cell",
+            "AN5D stores/cell",
+            "footprint ratio",
+        ],
+        rows,
+    )
+    report("table1_shared_memory", "Table 1: shared memory footprint (bT=4, nthr=256)", table)
+
+    for _, name, sg_words, an5d_words, sg_stores, an5d_stores, _ in rows:
+        pattern = load_pattern(name)
+        # Table 1 formulas.
+        assert an5d_words in (2 * 256 * pattern.nword, 2 * 256 * (1 + 2 * pattern.radius) * pattern.nword)
+        assert sg_words >= 2 * an5d_words  # bT = 4 -> ratio bT/2 = 2
+        assert sg_stores == an5d_stores
+
+
+@pytest.mark.parametrize("bT", [2, 4, 8, 10])
+def test_table1_footprint_ratio_scales_with_bt(bT):
+    pattern = load_pattern("star2d1r")
+    config = BlockingConfig(bT=bT, bS=(256,))
+    ours = an5d_shared_memory_plan(pattern, config).words_per_block
+    theirs = stencilgen_shared_memory_plan(pattern, config).words_per_block
+    assert theirs / ours == pytest.approx(bT / 2)

@@ -1,0 +1,44 @@
+"""Table 4: GPU specifications used by the model and the simulator."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import format_table, report
+from repro.model.gpu_specs import GPUS
+
+
+def build_rows():
+    rows = []
+    for key, gpu in GPUS.items():
+        rows.append(
+            (
+                gpu.name,
+                f"{gpu.peak_gflops_float:,.0f} | {gpu.peak_gflops_double:,.0f}",
+                f"{gpu.peak_membw_gbs:.0f}",
+                f"{gpu.measured_membw_float_gbs:.0f} | {gpu.measured_membw_double_gbs:.0f}",
+                f"{gpu.measured_smembw_float_gbs:,.0f} | {gpu.measured_smembw_double_gbs:,.0f}",
+                gpu.sm_count,
+            )
+        )
+    return rows
+
+
+def test_table4_gpu_specs(benchmark):
+    rows = benchmark(build_rows)
+    table = format_table(
+        [
+            "GPU",
+            "peak GFLOP/s (f|d)",
+            "peak mem GB/s",
+            "measured mem GB/s (f|d)",
+            "measured smem GB/s (f|d)",
+            "SMs",
+        ],
+        rows,
+    )
+    report("table4_gpu_specs", "Table 4: GPU specifications", table)
+
+    by_name = {row[0]: row for row in rows}
+    assert by_name["Tesla V100 SXM2"][-1] == 80
+    assert by_name["Tesla P100 SXM2"][-1] == 56
+    assert "15,700" in by_name["Tesla V100 SXM2"][1]
+    assert "535" in by_name["Tesla P100 SXM2"][3]

@@ -1,0 +1,67 @@
+"""Table 5: tuned AN5D configuration, measured and model GFLOP/s per stencil.
+
+The default run covers the Tesla V100 in single and double precision for all
+21 benchmarks; set ``AN5D_BENCH_FULL=1`` to add the P100 columns as well.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import FULL_SWEEP, evaluation_grid, format_table, report
+from repro.stencils.library import BENCHMARKS, load_pattern
+from repro.tuning.autotuner import AutoTuner
+
+GPUS = ("V100", "P100") if FULL_SWEEP else ("V100",)
+DTYPES = ("float", "double")
+
+
+def tune_all(gpu: str, dtype: str):
+    tuner = AutoTuner(gpu, top_k=3)
+    rows = []
+    for name, benchmark in BENCHMARKS.items():
+        pattern = load_pattern(name, dtype)
+        result = tuner.tune(pattern, evaluation_grid(benchmark.ndim))
+        config = result.best_config
+        rows.append(
+            (
+                name,
+                config.bT,
+                "x".join(str(v) for v in config.bS),
+                config.hS if config.hS is not None else "-",
+                config.register_limit if config.register_limit is not None else "-",
+                round(result.best.measured_gflops),
+                round(result.best.predicted_gflops),
+                f"{result.model_accuracy:.2f}",
+            )
+        )
+    return rows
+
+
+@pytest.mark.parametrize("gpu", GPUS)
+@pytest.mark.parametrize("dtype", DTYPES)
+def test_table5_tuned_configurations(benchmark, gpu, dtype):
+    rows = benchmark.pedantic(tune_all, args=(gpu, dtype), rounds=1, iterations=1)
+    table = format_table(
+        ["pattern", "bT", "bS", "hS", "regs", "Tuned GFLOP/s", "Model GFLOP/s", "accuracy"], rows
+    )
+    report(f"table5_{gpu}_{dtype}", f"Table 5: AN5D tuned configurations ({gpu}, {dtype})", table)
+
+    by_name = {row[0]: row for row in rows}
+
+    # Shape checks mirroring the paper's Table 5 trends.
+    # 1. Low-order 2D stencils tune to high temporal blocking degrees.
+    assert by_name["star2d1r"][1] >= 6
+    assert by_name["j2d5pt"][1] >= 6
+    # 2. High-order 3D box stencils do not benefit from temporal blocking.
+    assert by_name["box3d3r"][1] <= 2
+    assert by_name["box3d4r"][1] <= 2
+    # 3. Optimal bT decreases with the stencil order.
+    assert by_name["star2d1r"][1] >= by_name["star2d4r"][1]
+    assert by_name["star3d1r"][1] >= by_name["star3d4r"][1]
+    # 4. The model never under-predicts (accuracy <= 1).
+    assert all(float(row[7]) <= 1.0 for row in rows)
+    # 5. Model accuracy is in the plausible range the paper reports.
+    accuracies = [float(row[7]) for row in rows]
+    mean_accuracy = sum(accuracies) / len(accuracies)
+    assert 0.3 <= mean_accuracy <= 0.95

@@ -1,0 +1,72 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper: it
+computes the same rows/series the paper reports, prints them (run pytest with
+``-s`` to see the tables inline; they are also written to
+``benchmarks/results/``), and times a representative slice of the computation
+with pytest-benchmark.
+
+Absolute numbers come from the timing simulator rather than real GPUs, so
+they are not expected to match the paper exactly; the *shape* of each result
+(who wins, how performance scales, where the crossovers are) is what the
+harness reproduces and what the assertions at the end of each bench check.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Set AN5D_BENCH_FULL=1 to sweep every stencil / GPU / precision combination
+#: (slower); the default covers the headline subset.
+FULL_SWEEP = os.environ.get("AN5D_BENCH_FULL", "0") == "1"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def report(name: str, title: str, text: str) -> None:
+    """Print a table and persist it under benchmarks/results/."""
+    banner = f"\n=== {title} ===\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(banner.lstrip("\n") + "\n")
+
+
+@pytest.fixture(scope="session")
+def grid_2d():
+    """The paper's 2D evaluation grid (Section 6.1)."""
+    from repro.ir.stencil import GridSpec
+
+    return GridSpec((16384, 16384), 1000)
+
+
+@pytest.fixture(scope="session")
+def grid_3d():
+    """The paper's 3D evaluation grid (Section 6.1)."""
+    from repro.ir.stencil import GridSpec
+
+    return GridSpec((512, 512, 512), 1000)
+
+
+def evaluation_grid(ndim: int):
+    from repro.ir.stencil import GridSpec
+
+    return GridSpec((16384, 16384) if ndim == 2 else (512, 512, 512), 1000)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""3D seismic/acoustic kernel: temporal-blocking trade-offs in 3D.
+
+3D star stencils are the core of acoustic wave propagation and seismic
+imaging codes (the motivation the paper's introduction cites for stencil
+computation in HPC).  This example uses a radius-2 3D star stencil to show:
+
+* how the N.5D execution geometry changes with the temporal blocking degree
+  (halo growth, redundant work, thread-block counts),
+* how simulated performance on a Tesla V100 scales with bT (the Fig. 8
+  story), and why 3D stencils peak at a lower degree than 2D ones,
+* how AN5D compares against the baseline frameworks on this workload.
+
+Run with:  python examples/acoustic_wave_3d.py
+"""
+
+from repro import api
+from repro.core.config import BlockingConfig
+from repro.core.execution_model import ExecutionModel
+from repro.ir.stencil import GridSpec
+from repro.stencils.library import load_pattern
+
+
+def main() -> None:
+    pattern = load_pattern("star3d2r", "float")
+    print(f"Workload: {pattern.describe()}")
+    grid = GridSpec((512, 512, 512), 1000)
+
+    # -- execution geometry vs temporal blocking degree ------------------------
+    print("\nExecution geometry (bS = 32x32, hS = 128):")
+    print(f"{'bT':>3} {'halo':>5} {'compute':>9} {'blocks':>7} {'redundant':>10}")
+    for bT in (1, 2, 3, 4, 6):
+        config = BlockingConfig(bT=bT, bS=(32, 32), hS=128)
+        if not config.is_valid(pattern):
+            print(f"{bT:>3}  -- invalid: halo eats the whole block --")
+            continue
+        model = ExecutionModel(pattern, grid, config)
+        print(
+            f"{bT:>3} {model.halo_per_side:>5} {str(model.compute_sizes):>9} "
+            f"{model.total_thread_blocks:>7} {model.redundant_compute_fraction():>9.1%}"
+        )
+
+    # -- correctness spot check --------------------------------------------------
+    check = api.verify(pattern, bT=2, bS=(24, 24), grid=(20, 48, 48), time_steps=6)
+    print(f"\nBlocked execution matches reference: {check.matches} "
+          f"(max rel. error {check.max_relative_error:.1e})")
+
+    # -- bT scaling on V100 (the Fig. 8 story) -----------------------------------
+    print("\nSimulated performance on Tesla V100 vs temporal blocking degree:")
+    best = (0, 0.0)
+    for bT in range(1, 7):
+        config = BlockingConfig(bT=bT, bS=(32, 32), hS=128, register_limit=64)
+        if not config.is_valid(pattern):
+            break
+        gflops = api.simulate(pattern, config, gpu="V100", grid=grid.interior).gflops
+        marker = ""
+        if gflops > best[1]:
+            best = (bT, gflops)
+            marker = "  <- best so far"
+        print(f"  bT={bT}: {gflops:7.0f} GFLOP/s{marker}")
+    print(f"Best degree: bT={best[0]} — 3D stencils peak earlier than 2D because the "
+          "halo is two-dimensional and register pressure grows faster.")
+
+    # -- comparison with the baselines --------------------------------------------
+    print("\nFramework comparison on this workload (V100, float):")
+    rows = [
+        ("Loop tiling (PPCG)", api.baseline("loop", pattern, "V100", grid=grid.interior).gflops),
+        ("Hybrid tiling", api.baseline("hybrid", pattern, "V100", grid=grid.interior).gflops),
+        ("STENCILGEN", api.baseline("stencilgen", pattern, "V100", grid=grid.interior).gflops),
+        ("AN5D (best bT above)", best[1]),
+    ]
+    for name, gflops in rows:
+        print(f"  {name:<22} {gflops:8.0f} GFLOP/s")
+
+
+if __name__ == "__main__":
+    main()

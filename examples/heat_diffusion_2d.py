@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""2D heat diffusion: a physical workload on top of the AN5D pipeline.
+
+A user solving the 2D heat equation with an explicit 5-point scheme writes
+the usual double-buffered C loop nest.  This example:
+
+* builds the stencil from that C code,
+* runs the temporally-blocked executor and confirms it matches a plain
+  time-stepping loop while tracking the physical quantity of interest
+  (total heat is conserved up to boundary losses, the hot spot spreads),
+* autotunes the kernel for a Tesla V100 and reports the configuration a
+  production run would use, and
+* writes the generated CUDA to ``heat2d_generated.cu``.
+
+Run with:  python examples/heat_diffusion_2d.py
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro import api
+from repro.core.config import BlockingConfig
+from repro.ir.stencil import GridSpec
+from repro.sim.executor import BlockedStencilExecutor
+from repro.stencils.reference import ReferenceExecutor
+
+ALPHA = 0.2  # diffusion coefficient * dt / dx^2
+
+HEAT_SOURCE = f"""
+for (t = 0; t < T; t++)
+  for (i = 1; i <= N; i++)
+    for (j = 1; j <= M; j++)
+      A[(t+1)%2][i][j] = {ALPHA}f * A[t%2][i-1][j] + {ALPHA}f * A[t%2][i+1][j]
+          + {ALPHA}f * A[t%2][i][j-1] + {ALPHA}f * A[t%2][i][j+1]
+          + {1.0 - 4 * ALPHA}f * A[t%2][i][j];
+"""
+
+
+def hot_plate(grid: GridSpec, radius: int) -> np.ndarray:
+    """A cold plate with a hot square in the middle and cold boundaries."""
+    shape = grid.padded(radius)
+    plate = np.zeros(shape, dtype=np.float32)
+    cy, cx = shape[0] // 2, shape[1] // 2
+    plate[cy - 8 : cy + 8, cx - 8 : cx + 8] = 100.0
+    return plate
+
+
+def main() -> None:
+    detected = api.parse(HEAT_SOURCE, name="heat2d")
+    pattern = detected.pattern
+    print(f"Stencil: {pattern.describe()}")
+
+    # -- physics sanity check with the blocked executor -----------------------
+    grid = GridSpec((128, 128), 60)
+    config = BlockingConfig(bT=6, bS=(64,))
+    initial = hot_plate(grid, pattern.radius)
+
+    blocked = BlockedStencilExecutor(pattern, grid, config).run(initial.copy())
+    reference = ReferenceExecutor(pattern).run(initial.copy(), grid.time_steps)
+
+    max_error = float(np.max(np.abs(blocked - reference)))
+    centre_before = float(initial[initial.shape[0] // 2, initial.shape[1] // 2])
+    centre_after = float(blocked[blocked.shape[0] // 2, blocked.shape[1] // 2])
+    heated_cells = int((blocked > 1.0).sum())
+
+    print(f"\nAfter {grid.time_steps} time steps (temporal blocking degree {config.bT}):")
+    print(f"  blocked vs reference max abs error: {max_error:.3e}")
+    print(f"  hot-spot temperature: {centre_before:.1f} -> {centre_after:.1f}")
+    print(f"  cells above 1.0 degree: {heated_cells} (diffusion spread the heat)")
+    assert max_error < 1e-3
+
+    # -- production tuning ------------------------------------------------------
+    result = api.tune(pattern, gpu="V100", grid=(8192, 8192), time_steps=500)
+    best = result.best_config
+    print("\nAutotuned configuration for Tesla V100 (8,192^2, 500 steps):")
+    print(f"  bT={best.bT}, bS={best.bS}, hS={best.hS}, register limit={best.register_limit}")
+    print(f"  simulated: {result.best.measured_gflops:,.0f} GFLOP/s, "
+          f"model: {result.best.predicted_gflops:,.0f} GFLOP/s")
+
+    # -- emit the CUDA a real deployment would compile with NVCC -----------------
+    compiled = api.compile_stencil(pattern, config=best)
+    output = Path(__file__).parent / "heat2d_generated.cu"
+    output.write_text(compiled.cuda.full_source)
+    print(f"\nWrote generated CUDA to {output}")
+    print(f"Suggested compile command:\n  {compiled.cuda.nvcc_command(register_limit=best.register_limit)}")
+
+
+if __name__ == "__main__":
+    main()

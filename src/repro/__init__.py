@@ -1,0 +1,30 @@
+"""AN5D reproduction: automated stencil framework for high-degree temporal
+blocking on GPUs (Matsumura et al., CGO 2020).
+
+The top-level package re-exports the most commonly used pieces; see
+:mod:`repro.api` for the high-level entry points and the package docstrings
+of :mod:`repro.core`, :mod:`repro.model`, :mod:`repro.sim` and friends for
+the subsystem documentation.
+"""
+
+from repro import api
+from repro.core.config import BlockingConfig
+from repro.ir.stencil import GridSpec, StencilPattern
+from repro.model.gpu_specs import GPUS, GpuSpec, get_gpu
+from repro.stencils.library import BENCHMARKS, get_benchmark, load_pattern
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BENCHMARKS",
+    "BlockingConfig",
+    "GPUS",
+    "GpuSpec",
+    "GridSpec",
+    "StencilPattern",
+    "api",
+    "get_benchmark",
+    "get_gpu",
+    "load_pattern",
+    "__version__",
+]

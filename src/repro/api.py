@@ -1,0 +1,270 @@
+"""High-level public API of the AN5D reproduction.
+
+Typical use::
+
+    from repro import api
+
+    compiled = api.compile_stencil(C_SOURCE, name="heat2d", bT=4, bS=(256,))
+    print(compiled.cuda.kernel_source)
+
+    result = api.tune("j2d5pt", gpu="V100")           # model-guided tuning
+    print(result.as_row())
+
+    check = api.verify("j2d5pt", bT=4, bS=(32,), grid=(96, 96), time_steps=12)
+    assert check.matches
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.baselines import (
+    BaselineResult,
+    HybridTilingBaseline,
+    LoopTilingBaseline,
+    StencilGenBaseline,
+)
+from repro.codegen import CudaSourcePackage, generate_cuda
+from repro.core.config import BlockingConfig, sconf_configuration
+from repro.core.execution_model import ExecutionModel
+from repro.core.plan import KernelPlan
+from repro.core.transform import an5d_transform
+from repro.frontend.stencil_detect import DetectedStencil, parse_stencil
+from repro.ir.stencil import GridSpec, StencilPattern
+from repro.model.gpu_specs import GpuSpec, get_gpu
+from repro.model.roofline import PerformancePrediction, predict_performance
+from repro.sim.executor import BlockedStencilExecutor, VerificationResult, verify_blocking
+from repro.sim.timing import SimulatedMeasurement, simulate_performance
+from repro.stencils.library import BENCHMARKS, get_benchmark, load_pattern
+from repro.stencils.reference import make_initial_grid, run_reference
+from repro.tuning.autotuner import AutoTuner, TuningResult
+
+PatternLike = Union[str, StencilPattern]
+
+
+def _resolve_pattern(pattern: PatternLike, dtype: str = "float") -> StencilPattern:
+    """Accept either a benchmark name or an already-built pattern."""
+    if isinstance(pattern, StencilPattern):
+        return pattern
+    return load_pattern(pattern, dtype)
+
+
+def _resolve_grid(
+    pattern: StencilPattern,
+    grid: Union[GridSpec, Sequence[int], None],
+    time_steps: int,
+) -> GridSpec:
+    if isinstance(grid, GridSpec):
+        return grid
+    if grid is None:
+        name = pattern.name
+        if name in BENCHMARKS:
+            return get_benchmark(name).default_grid(time_steps)
+        interior = (512, 512) if pattern.ndim == 2 else (256, 256, 256)
+        return GridSpec(interior, time_steps)
+    return GridSpec(tuple(grid), time_steps)
+
+
+@dataclass(frozen=True)
+class CompiledStencil:
+    """The result of compiling one stencil with one configuration."""
+
+    pattern: StencilPattern
+    config: BlockingConfig
+    plan: KernelPlan
+    cuda: CudaSourcePackage
+
+    @property
+    def kernel_source(self) -> str:
+        return self.cuda.kernel_source
+
+    @property
+    def host_source(self) -> str:
+        return self.cuda.host_source
+
+
+# ---------------------------------------------------------------------------
+# Compilation
+# ---------------------------------------------------------------------------
+
+
+def parse(source: str, name: str = "stencil", dtype: Optional[str] = None) -> DetectedStencil:
+    """Parse C stencil source and detect its pattern."""
+    return parse_stencil(source, name=name, dtype=dtype)
+
+
+def compile_stencil(
+    source_or_pattern: Union[str, StencilPattern],
+    name: str = "stencil",
+    dtype: Optional[str] = None,
+    bT: int = 4,
+    bS: Sequence[int] = (256,),
+    hS: Optional[int] = None,
+    register_limit: Optional[int] = None,
+    config: Optional[BlockingConfig] = None,
+) -> CompiledStencil:
+    """Compile a stencil (C source, benchmark name or pattern) to CUDA.
+
+    ``config`` overrides the individual blocking parameters when given.
+    """
+    if isinstance(source_or_pattern, StencilPattern):
+        pattern = source_or_pattern
+    elif source_or_pattern in BENCHMARKS:
+        pattern = load_pattern(source_or_pattern, dtype or "float")
+    else:
+        pattern = parse_stencil(source_or_pattern, name=name, dtype=dtype).pattern
+    if config is None:
+        config = BlockingConfig(bT=bT, bS=tuple(bS), hS=hS, register_limit=register_limit)
+    plan = an5d_transform(pattern, config)
+    return CompiledStencil(pattern=pattern, config=config, plan=plan, cuda=generate_cuda(plan))
+
+
+# ---------------------------------------------------------------------------
+# Performance model / simulation / tuning
+# ---------------------------------------------------------------------------
+
+
+def predict(
+    pattern: PatternLike,
+    config: BlockingConfig,
+    gpu: Union[str, GpuSpec] = "V100",
+    dtype: str = "float",
+    grid: Union[GridSpec, Sequence[int], None] = None,
+    time_steps: int = 1000,
+) -> PerformancePrediction:
+    """Analytic performance prediction (Section 5 model)."""
+    resolved = _resolve_pattern(pattern, dtype)
+    spec = get_gpu(gpu) if isinstance(gpu, str) else gpu
+    return predict_performance(resolved, _resolve_grid(resolved, grid, time_steps), config, spec)
+
+
+def simulate(
+    pattern: PatternLike,
+    config: BlockingConfig,
+    gpu: Union[str, GpuSpec] = "V100",
+    dtype: str = "float",
+    grid: Union[GridSpec, Sequence[int], None] = None,
+    time_steps: int = 1000,
+) -> SimulatedMeasurement:
+    """Simulated "measured" performance (timing simulator)."""
+    resolved = _resolve_pattern(pattern, dtype)
+    return simulate_performance(
+        resolved, _resolve_grid(resolved, grid, time_steps), config, gpu
+    )
+
+
+def tune(
+    pattern: PatternLike,
+    gpu: Union[str, GpuSpec] = "V100",
+    dtype: str = "float",
+    grid: Union[GridSpec, Sequence[int], None] = None,
+    time_steps: int = 1000,
+    top_k: int = 5,
+) -> TuningResult:
+    """Model-guided autotuning (Section 6.3)."""
+    resolved = _resolve_pattern(pattern, dtype)
+    tuner = AutoTuner(gpu, top_k=top_k)
+    return tuner.tune(resolved, _resolve_grid(resolved, grid, time_steps))
+
+
+def sconf(pattern: PatternLike, dtype: str = "float") -> BlockingConfig:
+    """The paper's Sconf configuration (STENCILGEN-compatible parameters)."""
+    return sconf_configuration(_resolve_pattern(pattern, dtype))
+
+
+# ---------------------------------------------------------------------------
+# Correctness
+# ---------------------------------------------------------------------------
+
+
+def run(
+    pattern: PatternLike,
+    config: BlockingConfig,
+    grid: Union[GridSpec, Sequence[int]],
+    time_steps: int = 8,
+    dtype: str = "float",
+    initial: Optional[np.ndarray] = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """Run the blocked (N.5D) execution functionally on NumPy arrays."""
+    resolved = _resolve_pattern(pattern, dtype)
+    spec = _resolve_grid(resolved, grid, time_steps)
+    if initial is None:
+        initial = make_initial_grid(resolved, spec, seed)
+    return BlockedStencilExecutor(resolved, spec, config).run(initial)
+
+
+def reference(
+    pattern: PatternLike,
+    grid: Union[GridSpec, Sequence[int]],
+    time_steps: int = 8,
+    dtype: str = "float",
+    initial: Optional[np.ndarray] = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """Run the naive reference executor."""
+    resolved = _resolve_pattern(pattern, dtype)
+    spec = _resolve_grid(resolved, grid, time_steps)
+    return run_reference(resolved, spec, initial=initial, seed=seed)
+
+
+def verify(
+    pattern: PatternLike,
+    bT: int = 4,
+    bS: Sequence[int] = (32,),
+    hS: Optional[int] = None,
+    grid: Union[GridSpec, Sequence[int], None] = None,
+    time_steps: int = 8,
+    dtype: str = "float",
+    seed: int = 0,
+) -> VerificationResult:
+    """Verify the blocked schedule against the reference executor."""
+    resolved = _resolve_pattern(pattern, dtype)
+    if grid is None:
+        grid = (96, 96) if resolved.ndim == 2 else (32, 48, 48)
+    spec = _resolve_grid(resolved, grid, time_steps)
+    config = BlockingConfig(bT=bT, bS=tuple(bS), hS=hS)
+    return verify_blocking(resolved, spec, config, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Baselines
+# ---------------------------------------------------------------------------
+
+
+def baseline(
+    framework: str,
+    pattern: PatternLike,
+    gpu: Union[str, GpuSpec] = "V100",
+    dtype: str = "float",
+    grid: Union[GridSpec, Sequence[int], None] = None,
+    time_steps: int = 1000,
+) -> BaselineResult:
+    """Simulate one of the comparison frameworks on a stencil."""
+    resolved = _resolve_pattern(pattern, dtype)
+    spec = get_gpu(gpu) if isinstance(gpu, str) else gpu
+    grid_spec = _resolve_grid(resolved, grid, time_steps)
+    key = framework.strip().lower().replace(" ", "_").replace("-", "_")
+    if key in ("stencilgen", "sg"):
+        return StencilGenBaseline(spec).simulate(resolved, grid_spec)
+    if key in ("hybrid", "hybrid_tiling", "hexagonal"):
+        return HybridTilingBaseline(spec).simulate(resolved, grid_spec)
+    if key in ("loop", "loop_tiling", "ppcg"):
+        return LoopTilingBaseline(spec).simulate(resolved, grid_spec)
+    raise ValueError(f"unknown baseline framework {framework!r}")
+
+
+def execution_summary(
+    pattern: PatternLike,
+    config: BlockingConfig,
+    grid: Union[GridSpec, Sequence[int], None] = None,
+    time_steps: int = 1000,
+    dtype: str = "float",
+) -> dict:
+    """Geometry summary of one kernel launch (threads, blocks, halo, ...)."""
+    resolved = _resolve_pattern(pattern, dtype)
+    spec = _resolve_grid(resolved, grid, time_steps)
+    return ExecutionModel(resolved, spec, config).summary()

@@ -1,0 +1,28 @@
+"""Baseline frameworks the paper compares against (Section 6, Fig. 6/7).
+
+Each baseline is modelled at the level the comparison needs: its resource
+usage (registers, shared memory, redundancy, block-size limits) and the
+simulated performance that follows from those resources on the same device
+model AN5D is simulated on.
+
+* :mod:`repro.baselines.stencilgen` — STENCILGEN: N.5D blocking with shifting
+  registers and one shared-memory buffer per combined time step, bT capped
+  at 4.
+* :mod:`repro.baselines.hybrid_tiling` — hybrid hexagonal/classical tiling:
+  non-redundant temporal blocking that blocks every spatial dimension (no
+  streaming), strong for 2D, weak for 3D.
+* :mod:`repro.baselines.loop_tiling` — PPCG's default loop tiling: spatial
+  blocking only, one global-memory round trip per time step.
+"""
+
+from repro.baselines.common import BaselineResult
+from repro.baselines.stencilgen import StencilGenBaseline
+from repro.baselines.hybrid_tiling import HybridTilingBaseline
+from repro.baselines.loop_tiling import LoopTilingBaseline
+
+__all__ = [
+    "BaselineResult",
+    "HybridTilingBaseline",
+    "LoopTilingBaseline",
+    "StencilGenBaseline",
+]

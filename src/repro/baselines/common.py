@@ -1,0 +1,28 @@
+"""Shared result type for baseline framework models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Simulated outcome of running one stencil with one baseline framework."""
+
+    framework: str
+    gflops: float
+    gcells: float
+    time_s: float
+    registers_per_thread: int
+    occupancy: float
+    notes: str = ""
+
+    def as_row(self) -> dict[str, float | str]:
+        return {
+            "framework": self.framework,
+            "gflops": self.gflops,
+            "gcells": self.gcells,
+            "time_s": self.time_s,
+            "registers": self.registers_per_thread,
+            "occupancy": self.occupancy,
+        }

@@ -1,0 +1,195 @@
+"""Command-line interface: the ``an5d`` tool.
+
+Subcommands
+-----------
+
+``an5d list``
+    List the benchmark stencils of Table 3.
+``an5d compile <benchmark-or-file> [--bT 4 --bS 256 --hS 512]``
+    Generate CUDA kernel + host code and print (or save) it.
+``an5d tune <benchmark> [--gpu V100 --dtype float]``
+    Run the model-guided autotuner and report the chosen configuration.
+``an5d predict <benchmark> --bT 8 --bS 256``
+    Print the analytic model's prediction for one configuration.
+``an5d verify <benchmark> [--bT 4 --bS 32]``
+    Verify the blocked execution against the NumPy reference.
+``an5d compare <benchmark> [--gpu V100]``
+    Compare AN5D against the baseline frameworks (one Fig. 6 group).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro import api
+from repro.core.config import BlockingConfig
+from repro.stencils.library import BENCHMARKS, get_benchmark
+
+
+def _parse_bs(text: str) -> tuple[int, ...]:
+    return tuple(int(part) for part in text.replace("x", ",").split(",") if part)
+
+
+def _add_blocking_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--bT", type=int, default=4, help="temporal blocking degree")
+    parser.add_argument(
+        "--bS", type=_parse_bs, default=(256,), help="spatial block sizes, e.g. 256 or 32x32"
+    )
+    parser.add_argument("--hS", type=int, default=None, help="stream block length (optional)")
+    parser.add_argument(
+        "--regs", type=int, default=None, help="register limit per thread (-maxrregcount)"
+    )
+
+
+def _blocking_config(args: argparse.Namespace) -> BlockingConfig:
+    return BlockingConfig(bT=args.bT, bS=args.bS, hS=args.hS, register_limit=args.regs)
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print(f"{'name':<14} {'dims':>4} {'radius':>6} {'FLOP/cell':>10}  description")
+    for name, benchmark in BENCHMARKS.items():
+        print(
+            f"{name:<14} {benchmark.ndim:>4} {benchmark.radius:>6} "
+            f"{benchmark.paper_flops_per_cell:>10}  {benchmark.description}"
+        )
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    target = args.stencil
+    if target in BENCHMARKS:
+        source_or_pattern: str = target
+        name = target
+    else:
+        path = Path(target)
+        if not path.exists():
+            print(f"error: {target!r} is neither a benchmark name nor a file", file=sys.stderr)
+            return 2
+        source_or_pattern = path.read_text()
+        name = path.stem
+    compiled = api.compile_stencil(
+        source_or_pattern,
+        name=name,
+        dtype=args.dtype,
+        config=_blocking_config(args),
+    )
+    output = compiled.cuda.full_source
+    if args.output:
+        Path(args.output).write_text(output)
+        print(f"wrote {len(output.splitlines())} lines to {args.output}")
+    else:
+        print(output)
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    result = api.tune(args.stencil, gpu=args.gpu, dtype=args.dtype, time_steps=args.time_steps)
+    row = result.as_row()
+    print(f"best configuration for {args.stencil} on {args.gpu} ({args.dtype}):")
+    for key, value in row.items():
+        print(f"  {key:>14}: {value}")
+    print(f"  model accuracy: {result.model_accuracy:.2f}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    config = _blocking_config(args)
+    prediction = api.predict(args.stencil, config, gpu=args.gpu, dtype=args.dtype)
+    measured = api.simulate(args.stencil, config, gpu=args.gpu, dtype=args.dtype)
+    print(f"{args.stencil} on {args.gpu} ({args.dtype}), {config.describe()}:")
+    print(f"  model:     {prediction.gflops:9.1f} GFLOP/s  (bottleneck: {prediction.bottleneck})")
+    print(f"  simulated: {measured.gflops:9.1f} GFLOP/s  (bottleneck: {measured.bottleneck})")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    result = api.verify(
+        args.stencil,
+        bT=args.bT,
+        bS=args.bS,
+        hS=args.hS,
+        time_steps=args.time_steps,
+        dtype=args.dtype,
+    )
+    status = "OK" if result.matches else "MISMATCH"
+    print(
+        f"{status}: blocked execution vs reference, "
+        f"max relative error {result.max_relative_error:.3e}"
+    )
+    return 0 if result.matches else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    config = api.sconf(args.stencil, args.dtype)
+    rows = [
+        ("Loop Tiling", api.baseline("loop", args.stencil, args.gpu, args.dtype).gflops),
+        ("Hybrid Tiling", api.baseline("hybrid", args.stencil, args.gpu, args.dtype).gflops),
+        ("STENCILGEN", api.baseline("stencilgen", args.stencil, args.gpu, args.dtype).gflops),
+        ("AN5D (Sconf)", api.simulate(args.stencil, config, args.gpu, args.dtype).gflops),
+    ]
+    tuned = api.tune(args.stencil, gpu=args.gpu, dtype=args.dtype)
+    rows.append(("AN5D (Tuned)", tuned.best.measured_gflops))
+    rows.append(("AN5D (Model)", tuned.best.predicted_gflops))
+    print(f"{args.stencil} on {args.gpu} ({args.dtype}):")
+    for framework, gflops in rows:
+        print(f"  {framework:<14} {gflops:9.1f} GFLOP/s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="an5d",
+        description="AN5D reproduction: stencil compilation, tuning and evaluation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark stencils").set_defaults(func=_cmd_list)
+
+    compile_parser = sub.add_parser("compile", help="generate CUDA code for a stencil")
+    compile_parser.add_argument("stencil", help="benchmark name or path to a C source file")
+    compile_parser.add_argument("--dtype", choices=("float", "double"), default="float")
+    compile_parser.add_argument("--output", "-o", help="write the generated code to a file")
+    _add_blocking_arguments(compile_parser)
+    compile_parser.set_defaults(func=_cmd_compile)
+
+    tune_parser = sub.add_parser("tune", help="autotune a benchmark stencil")
+    tune_parser.add_argument("stencil")
+    tune_parser.add_argument("--gpu", default="V100")
+    tune_parser.add_argument("--dtype", choices=("float", "double"), default="float")
+    tune_parser.add_argument("--time-steps", type=int, default=1000)
+    tune_parser.set_defaults(func=_cmd_tune)
+
+    predict_parser = sub.add_parser("predict", help="model + simulator prediction")
+    predict_parser.add_argument("stencil")
+    predict_parser.add_argument("--gpu", default="V100")
+    predict_parser.add_argument("--dtype", choices=("float", "double"), default="float")
+    _add_blocking_arguments(predict_parser)
+    predict_parser.set_defaults(func=_cmd_predict)
+
+    verify_parser = sub.add_parser("verify", help="verify blocked execution vs reference")
+    verify_parser.add_argument("stencil")
+    verify_parser.add_argument("--dtype", choices=("float", "double"), default="float")
+    verify_parser.add_argument("--time-steps", type=int, default=8)
+    _add_blocking_arguments(verify_parser)
+    verify_parser.set_defaults(func=_cmd_verify)
+
+    compare_parser = sub.add_parser("compare", help="compare against baseline frameworks")
+    compare_parser.add_argument("stencil")
+    compare_parser.add_argument("--gpu", default="V100")
+    compare_parser.add_argument("--dtype", choices=("float", "double"), default="float")
+    compare_parser.set_defaults(func=_cmd_compare)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""Re-emission of the normalized C loop nest from a stencil pattern.
+
+AN5D's frontend normalises the input program before transforming it; this
+module performs the inverse, turning a :class:`StencilPattern` back into the
+canonical double-buffered C loop nest the frontend accepts.  It is used for:
+
+* round-trip testing of the frontend (parse → pattern → emit → parse),
+* producing the reference-loop source that accompanies generated CUDA so a
+  user can diff what the kernel is supposed to compute, and
+* exporting synthetic stencils (which are constructed directly in the IR) in
+  a form other stencil tools can consume.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.ir.expr import BinOp, Call, Const, Expr, GridRead, UnaryOp
+from repro.ir.stencil import StencilPattern
+
+_LOOP_VARS = ("i", "j", "k")
+
+_PRECEDENCE = {"+": 1, "-": 1, "*": 2, "/": 2}
+
+
+def _literal(value: float, dtype: str) -> str:
+    text = f"{value:.9g}"
+    if "." not in text and "e" not in text and "inf" not in text:
+        text += ".0"
+    return text + ("f" if dtype == "float" else "")
+
+
+def _subscript(var: str, offset: int) -> str:
+    if offset == 0:
+        return f"[{var}]"
+    sign = "+" if offset > 0 else "-"
+    return f"[{var}{sign}{abs(offset)}]"
+
+
+def _render_read(read: GridRead, array: str, spatial_vars: Sequence[str]) -> str:
+    subscripts = "".join(
+        _subscript(var, component) for var, component in zip(spatial_vars, read.offset)
+    )
+    return f"{array}[t%2]{subscripts}"
+
+
+def render_c_expression(
+    expr: Expr, pattern: StencilPattern, spatial_vars: Sequence[str], parent_precedence: int = 0
+) -> str:
+    """Render an IR expression as C source text."""
+    if isinstance(expr, Const):
+        return _literal(expr.value, pattern.dtype)
+    if isinstance(expr, GridRead):
+        return _render_read(expr, pattern.array, spatial_vars)
+    if isinstance(expr, UnaryOp):
+        inner = render_c_expression(expr.operand, pattern, spatial_vars, 3)
+        return f"-{inner}"
+    if isinstance(expr, Call):
+        args = ", ".join(render_c_expression(a, pattern, spatial_vars, 0) for a in expr.args)
+        name = expr.name
+        if pattern.dtype == "float" and name in ("sqrt", "fabs", "exp") :
+            name += "f"
+        return f"{name}({args})"
+    if isinstance(expr, BinOp):
+        precedence = _PRECEDENCE[expr.op]
+        lhs = render_c_expression(expr.lhs, pattern, spatial_vars, precedence)
+        rhs = render_c_expression(expr.rhs, pattern, spatial_vars, precedence + 1)
+        text = f"{lhs} {expr.op} {rhs}"
+        if precedence < parent_precedence:
+            return f"({text})"
+        return text
+    raise TypeError(f"cannot render expression node {expr!r}")
+
+
+def generate_c(pattern: StencilPattern, size_names: Sequence[str] | None = None) -> str:
+    """Emit the canonical double-buffered C loop nest for ``pattern``.
+
+    ``size_names`` optionally overrides the symbolic loop bounds (defaults to
+    ``I_T`` and ``I_S<n>`` following the paper's notation, innermost last).
+    """
+    spatial_vars = _LOOP_VARS[: pattern.ndim]
+    if size_names is None:
+        size_names = [f"I_S{pattern.ndim - d}" for d in range(pattern.ndim)]
+    if len(size_names) != pattern.ndim:
+        raise ValueError("expected one size name per spatial dimension")
+
+    lines: List[str] = ["for (t = 0; t < I_T; t++)"]
+    for depth, (var, size) in enumerate(zip(spatial_vars, size_names), start=1):
+        lines.append(f"{'  ' * depth}for ({var} = 1; {var} <= {size}; {var}++)")
+
+    lhs_subscripts = "".join(f"[{var}]" for var in spatial_vars)
+    body = render_c_expression(pattern.expr, pattern, spatial_vars)
+    indent = "  " * (pattern.ndim + 1)
+    lines.append(f"{indent}{pattern.array}[(t+1)%2]{lhs_subscripts} = {body};")
+    return "\n".join(lines) + "\n"
+
+
+def round_trips(pattern: StencilPattern) -> bool:
+    """True when emitting and re-parsing the pattern preserves its accesses.
+
+    Coefficient text formatting can lose a few digits of precision, so the
+    check compares the structural properties the transformation depends on:
+    offsets, radius, shape classification and dtype.
+    """
+    from repro.frontend.stencil_detect import parse_stencil
+
+    reparsed = parse_stencil(generate_c(pattern), name=pattern.name, dtype=pattern.dtype).pattern
+    return (
+        reparsed.offsets == pattern.offsets
+        and reparsed.radius == pattern.radius
+        and reparsed.shape == pattern.shape
+        and reparsed.dtype == pattern.dtype
+    )

@@ -1,0 +1,186 @@
+"""LOAD / CALC / STORE macro generation (Section 4.3.2, Fig. 5).
+
+Every generated kernel is a sequence of macro calls; the macros themselves
+encode where each operand lives:
+
+* the thread's own column of the source sub-planes lives in the fixed
+  registers passed as macro arguments,
+* neighbouring columns are read from the double-buffered shared memory
+  through a wrapper device function (``__an5d_sm_load``) that prevents NVCC
+  from vectorizing the access (Section 4.3.2),
+* loads/stores address global memory through the streaming index argument.
+
+For diagonal-access-free (star) stencils the shared-memory buffers hold a
+single sub-plane; for other stencils they hold ``1 + 2*rad`` sub-planes.  The
+associative partial-summation schedule is modelled at the plan/resource level
+(see :mod:`repro.core.associative`); its emitted CUDA uses the general
+multi-plane form, a simplification documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.plan import KernelPlan
+from repro.ir.expr import BinOp, Call, Const, Expr, GridRead, UnaryOp
+from repro.ir.stencil import StencilPattern
+
+_CALL_RENDER = {
+    "sqrt": "sqrt",
+    "sqrtf": "sqrtf",
+    "fabs": "fabs",
+    "fabsf": "fabsf",
+    "exp": "exp",
+    "expf": "expf",
+    "min": "min",
+    "max": "max",
+    "fmin": "fmin",
+    "fmax": "fmax",
+}
+
+
+def _float_literal(value: float, dtype: str) -> str:
+    text = f"{value:.9g}"
+    if "." not in text and "e" not in text and "inf" not in text and "nan" not in text:
+        text += ".0"
+    return text + ("f" if dtype == "float" else "")
+
+
+def _thread_index(ndim: int, offsets: Sequence[int]) -> str:
+    """Shared-memory subscript for the blocked dimensions of an offset."""
+    if ndim == 2:
+        (dx,) = offsets
+        return f"[__an5d_tx + {dx}]" if dx else "[__an5d_tx]"
+    dy, dx = offsets
+    y = f"__an5d_ty + {dy}" if dy else "__an5d_ty"
+    x = f"__an5d_tx + {dx}" if dx else "__an5d_tx"
+    return f"[{y}][{x}]"
+
+
+def render_expression(
+    pattern: StencilPattern,
+    expr: Expr,
+    source_registers: Sequence[str],
+    smem_buffer: str,
+    multi_plane: bool,
+) -> str:
+    """Render a stencil expression with operands resolved to registers/smem.
+
+    ``source_registers`` are the ``2*rad + 1`` register names of the previous
+    time step in streaming order (offset ``-rad`` first).
+    """
+    rad = pattern.radius
+    dtype = pattern.dtype
+
+    def render(node: Expr) -> str:
+        if isinstance(node, Const):
+            return _float_literal(node.value, dtype)
+        if isinstance(node, GridRead):
+            stream_offset, *blocked = node.offset
+            if all(component == 0 for component in blocked):
+                return f"({source_registers[stream_offset + rad]})"
+            plane = f"[{stream_offset + rad}]" if multi_plane else ""
+            subscript = _thread_index(pattern.ndim, blocked)
+            return f"__an5d_sm_load(&{smem_buffer}{plane}{subscript})"
+        if isinstance(node, BinOp):
+            return f"({render(node.lhs)} {node.op} {render(node.rhs)})"
+        if isinstance(node, UnaryOp):
+            return f"(-{render(node.operand)})"
+        if isinstance(node, Call):
+            args = ", ".join(render(a) for a in node.args)
+            return f"{_CALL_RENDER[node.name]}({args})"
+        raise TypeError(f"cannot render expression node {node!r}")
+
+    return render(expr)
+
+
+def _smem_plane_count(plan: KernelPlan) -> int:
+    """Sub-planes per shared-memory buffer in the emitted code."""
+    if plan.use_star_opt:
+        return 1
+    return 1 + 2 * plan.pattern.radius
+
+
+def smem_declaration(plan: KernelPlan, block_dims: Sequence[str]) -> List[str]:
+    """Shared-memory buffer declarations (double buffered by default)."""
+    dtype = plan.pattern.dtype
+    planes = _smem_plane_count(plan)
+    plane_dim = f"[{planes}]" if planes > 1 else ""
+    dims = "".join(f"[{d}]" for d in block_dims)
+    buffers = plan.smem_buffers
+    return [
+        f"__shared__ {dtype} __an5d_sm{b}{plane_dim}{dims};" for b in range(buffers)
+    ]
+
+
+def generate_macro_definitions(plan: KernelPlan) -> str:
+    """All ``#define`` lines of one kernel (LOAD, CALC1..CALCbT-1, STORE)."""
+    pattern = plan.pattern
+    dtype = pattern.dtype
+    rad = pattern.radius
+    period = 2 * rad + 1
+    multi_plane = _smem_plane_count(plan) > 1
+    ndim = pattern.ndim
+
+    if ndim == 2:
+        global_index = "[(__an5d_plane)][__an5d_gx]"
+        smem_store_index = "[__an5d_tx]"
+    else:
+        global_index = "[(__an5d_plane)][__an5d_gy][__an5d_gx]"
+        smem_store_index = "[__an5d_ty][__an5d_tx]"
+
+    lines: List[str] = []
+    lines.append(
+        f"__device__ __forceinline__ {dtype} __an5d_sm_load(const {dtype} *p) {{ return *p; }}"
+    )
+    lines.append("")
+
+    # LOAD: global memory -> register + shared memory (time step 0).
+    lines.append(
+        "#define LOAD(reg, __an5d_plane) do { \\\n"
+        f"    (reg) = __an5d_in{global_index}; \\\n"
+        f"    __an5d_sm0{'[' + str(rad) + ']' if multi_plane else ''}{smem_store_index} = (reg); \\\n"
+        "  } while (0)"
+    )
+
+    source_args = ", ".join(f"s{k}" for k in range(period))
+    source_registers = [f"(s{k})" for k in range(period)]
+    for step in range(1, plan.config.bT):
+        # With double buffering, time step T reads the buffer its predecessor
+        # wrote and writes the other one (Section 4.2.2).
+        read_buffer = f"__an5d_sm{(step - 1) % plan.smem_buffers}"
+        write_buffer = f"__an5d_sm{step % plan.smem_buffers}"
+        body = render_expression(
+            pattern, pattern.expr, source_registers, read_buffer, multi_plane
+        )
+        plane_store = f"[{rad}]" if multi_plane else ""
+        lines.append(
+            f"#define CALC{step}(dst, {source_args}) do {{ \\\n"
+            f"    {dtype} __an5d_res = {body}; \\\n"
+            f"    {write_buffer}{plane_store}{smem_store_index} = __an5d_res; \\\n"
+            "    (dst) = __an5d_res; \\\n"
+            "  } while (0)"
+        )
+
+    # STORE: final combined time step writes the compute region only.
+    final_buffer = f"__an5d_sm{(plan.config.bT - 1) % plan.smem_buffers}"
+    final_body = render_expression(
+        pattern, pattern.expr, source_registers, final_buffer, multi_plane
+    )
+    lines.append(
+        f"#define STORE(__an5d_plane, {source_args}) do {{ \\\n"
+        "    if (__an5d_in_compute_region) \\\n"
+        f"      __an5d_out{global_index} = {final_body}; \\\n"
+        "  } while (0)"
+    )
+    return "\n".join(lines)
+
+
+def macro_call_text(plan: KernelPlan, kind: str, time_step: int, plane: str, args: Sequence[str]) -> str:
+    """Render one macro invocation."""
+    name = f"CALC{time_step}" if kind == "CALC" else kind
+    if kind == "LOAD":
+        return f"LOAD({args[0]}, {plane});"
+    if kind == "STORE":
+        return f"STORE({plane}, {', '.join(args)});"
+    return f"{name}({', '.join(args)});"

@@ -1,0 +1,105 @@
+"""Associative-stencil (partial summation) optimization (Sections 3 and 4.1).
+
+For associative box stencils the update of a cell is a sum over
+``1 + 2*rad`` source sub-planes.  Instead of keeping all of them resident,
+the kernel visits sub-planes one at a time: when sub-plane ``s`` arrives it
+contributes its terms to the ``1 + 2*rad`` *destination* cells whose stencils
+touch it, accumulating partial sums held in registers.  Only one source
+sub-plane is ever needed in shared memory, which is what collapses the
+shared-memory footprint of box stencils to the star-stencil level (Table 1).
+
+This module computes that decomposition at the expression level and verifies
+it is a pure re-association of the original sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.ir.classify import group_terms_by_subplane
+from repro.ir.expr import BinOp, Const, Expr, GridRead, UnaryOp
+from repro.ir.stencil import StencilPattern
+
+
+@dataclass(frozen=True)
+class PartialSumStep:
+    """The contribution of one source sub-plane to one destination cell.
+
+    ``source_offset`` is the streaming-dimension offset of the source
+    sub-plane relative to the destination cell; ``expr`` is the sum of terms
+    read from that sub-plane.  Summing ``expr`` over all steps of a
+    decomposition reconstructs the original update expression.
+    """
+
+    source_offset: int
+    expr: Expr
+    term_count: int
+
+
+def _sum(terms: List[Expr]) -> Expr:
+    result = terms[0]
+    for term in terms[1:]:
+        result = BinOp("+", result, term)
+    return result
+
+
+def decompose_partial_sums(pattern: StencilPattern) -> List[PartialSumStep]:
+    """Decompose an associative stencil into per-sub-plane partial sums.
+
+    Raises ``ValueError`` for non-associative stencils (the caller is expected
+    to have checked :attr:`StencilPattern.associative`).
+    """
+    groups = group_terms_by_subplane(pattern.expr)
+    if groups is None:
+        raise ValueError(f"stencil {pattern.name!r} is not associative")
+    steps: List[PartialSumStep] = []
+    for offset in sorted(groups):
+        terms = groups[offset]
+        steps.append(
+            PartialSumStep(source_offset=offset, expr=_sum(terms), term_count=len(terms))
+        )
+    return steps
+
+
+def partial_sum_count(pattern: StencilPattern) -> int:
+    """Number of partial summations per cell (``1 + 2*rad`` for box stencils)."""
+    return len(decompose_partial_sums(pattern))
+
+
+def subplane_contributions(pattern: StencilPattern) -> Dict[int, List[Tuple[int, Expr]]]:
+    """Reverse view of the decomposition, indexed by *source* sub-plane.
+
+    For a source sub-plane at streaming position ``i``, the result lists which
+    destination sub-planes (``i - offset``) receive a contribution and with
+    what expression — this is the update order the generated kernel follows
+    ("``1 + 2*rad`` consecutive sub-planes are simultaneously updated using
+    values read from one sub-plane", Section 4.1).
+    """
+    steps = decompose_partial_sums(pattern)
+    contributions: Dict[int, List[Tuple[int, Expr]]] = {}
+    for step in steps:
+        # The destination at relative position -offset reads this source plane.
+        contributions.setdefault(0, []).append((-step.source_offset, step.expr))
+    return contributions
+
+
+def shift_expr_to_source_plane(expr: Expr) -> Expr:
+    """Rewrite a partial-sum expression relative to its source sub-plane.
+
+    Grid reads in a partial-sum step are expressed relative to the
+    *destination* cell; for code generation the kernel reads them from the
+    currently loaded *source* sub-plane, so the streaming-dimension component
+    of every offset is dropped (it is implied by the plane being read).
+    """
+    if isinstance(expr, GridRead):
+        return GridRead(expr.array, (0,) + expr.offset[1:], expr.time_offset)
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op, shift_expr_to_source_plane(expr.lhs), shift_expr_to_source_plane(expr.rhs)
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, shift_expr_to_source_plane(expr.operand))
+    raise TypeError(f"unexpected node in partial sum: {expr!r}")

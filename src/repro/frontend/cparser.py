@@ -1,0 +1,234 @@
+"""Recursive-descent parser for the C stencil subset.
+
+The grammar (roughly):
+
+.. code-block:: text
+
+    program     := statement*
+    statement   := for_loop | assignment ';' | declaration ';' | '{' statement* '}'
+    for_loop    := 'for' '(' init ';' cond ';' step ')' (statement | '{' statement* '}')
+    assignment  := array_access '=' expr
+    expr        := additive (with the usual precedence: unary, * / %, + -)
+
+Only canonical unit-stride ascending loops are accepted
+(``for (i = L; i < U; i++)`` or ``<=``), because those are the only loops the
+AN5D execution model can stream.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.frontend import c_ast
+from repro.frontend.clexer import Token, tokenize
+
+
+class ParseError(ValueError):
+    """Raised when the input is not in the supported C subset."""
+
+    def __init__(self, message: str, token: Token | None = None) -> None:
+        if token is not None:
+            message = f"{message} at line {token.line}, column {token.column} (near {token.value!r})"
+        super().__init__(message)
+        self.token = token
+
+
+class Parser:
+    """Parses a token stream into a :class:`repro.frontend.c_ast.Program`."""
+
+    def __init__(self, tokens: Sequence[Token]) -> None:
+        self.tokens = list(tokens)
+        self.index = 0
+
+    # -- token helpers -----------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def _check(self, kind: str, value: str | None = None) -> bool:
+        token = self.current
+        return token.kind == kind and (value is None or token.value == value)
+
+    def _accept(self, kind: str, value: str | None = None) -> Token | None:
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value: str | None = None) -> Token:
+        if not self._check(kind, value):
+            expectation = value if value is not None else kind
+            raise ParseError(f"expected {expectation!r}", self.current)
+        return self._advance()
+
+    # -- grammar -----------------------------------------------------------
+    def parse_program(self) -> c_ast.Program:
+        statements: List[c_ast.Statement] = []
+        while not self._check("eof"):
+            statements.append(self.parse_statement())
+        return c_ast.Program(tuple(statements))
+
+    def parse_statement(self) -> c_ast.Statement:
+        if self._check("keyword", "for"):
+            return self.parse_for()
+        if self._check("keyword", "float") or self._check("keyword", "double") or self._check(
+            "keyword", "int"
+        ):
+            return self.parse_declaration()
+        if self._check("punct", "{"):
+            # A bare block is flattened into its single statement when
+            # possible; otherwise it is not representable at top level.
+            raise ParseError("unexpected bare block", self.current)
+        return self.parse_assignment_statement()
+
+    def parse_declaration(self) -> c_ast.Declaration:
+        dtype = self._advance().value
+        name = self._expect("ident").value
+        value = None
+        if self._accept("op", "="):
+            value = self.parse_expression()
+        self._expect("punct", ";")
+        return c_ast.Declaration(dtype, name, value)
+
+    def parse_for(self) -> c_ast.ForLoop:
+        self._expect("keyword", "for")
+        self._expect("punct", "(")
+        # init: optionally typed, "var = expr"
+        self._accept("keyword", "int")
+        var_token = self._expect("ident")
+        self._expect("op", "=")
+        lower = self.parse_expression()
+        self._expect("punct", ";")
+        # condition: "var < expr" or "var <= expr"
+        cond_var = self._expect("ident")
+        if cond_var.value != var_token.value:
+            raise ParseError("loop condition must test the loop variable", cond_var)
+        if self._accept("op", "<="):
+            inclusive = True
+        elif self._accept("op", "<"):
+            inclusive = False
+        else:
+            raise ParseError("loop condition must use < or <=", self.current)
+        upper = self.parse_expression()
+        self._expect("punct", ";")
+        # step: "var++" or "var += 1" or "++var"
+        self._parse_unit_step(var_token.value)
+        self._expect("punct", ")")
+        body = self.parse_loop_body()
+        return c_ast.ForLoop(var_token.value, lower, upper, inclusive, tuple(body))
+
+    def _parse_unit_step(self, var: str) -> None:
+        if self._accept("op", "++"):
+            name = self._expect("ident")
+            if name.value != var:
+                raise ParseError("loop step must increment the loop variable", name)
+            return
+        name = self._expect("ident")
+        if name.value != var:
+            raise ParseError("loop step must increment the loop variable", name)
+        if self._accept("op", "++"):
+            return
+        if self._accept("op", "+="):
+            step = self.parse_expression()
+            if not (isinstance(step, c_ast.NumberLiteral) and step.value == 1):
+                raise ParseError("only unit-stride loops are supported", self.current)
+            return
+        raise ParseError("unsupported loop step", self.current)
+
+    def parse_loop_body(self) -> List[c_ast.Statement]:
+        if self._accept("punct", "{"):
+            body: List[c_ast.Statement] = []
+            while not self._check("punct", "}"):
+                if self._check("eof"):
+                    raise ParseError("unterminated block", self.current)
+                body.append(self.parse_statement())
+            self._expect("punct", "}")
+            return body
+        return [self.parse_statement()]
+
+    def parse_assignment_statement(self) -> c_ast.Assignment:
+        target = self.parse_postfix()
+        if not isinstance(target, c_ast.ArrayAccess):
+            raise ParseError("assignment target must be an array access", self.current)
+        op_token = self.current
+        if self._accept("op", "="):
+            op = "="
+        elif self._accept("op", "+="):
+            op = "+="
+        else:
+            raise ParseError("expected assignment operator", op_token)
+        value = self.parse_expression()
+        self._expect("punct", ";")
+        return c_ast.Assignment(target, value, op)
+
+    # -- expressions ---------------------------------------------------------
+    def parse_expression(self) -> c_ast.CExpr:
+        return self.parse_additive()
+
+    def parse_additive(self) -> c_ast.CExpr:
+        expr = self.parse_multiplicative()
+        while self._check("op", "+") or self._check("op", "-"):
+            op = self._advance().value
+            rhs = self.parse_multiplicative()
+            expr = c_ast.BinaryExpr(op, expr, rhs)
+        return expr
+
+    def parse_multiplicative(self) -> c_ast.CExpr:
+        expr = self.parse_unary()
+        while self._check("op", "*") or self._check("op", "/") or self._check("op", "%"):
+            op = self._advance().value
+            rhs = self.parse_unary()
+            expr = c_ast.BinaryExpr(op, expr, rhs)
+        return expr
+
+    def parse_unary(self) -> c_ast.CExpr:
+        if self._check("op", "-") or self._check("op", "+") or self._check("op", "!"):
+            op = self._advance().value
+            operand = self.parse_unary()
+            if op == "+":
+                return operand
+            return c_ast.UnaryExpr(op, operand)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> c_ast.CExpr:
+        expr = self.parse_primary()
+        while self._check("punct", "["):
+            if not isinstance(expr, c_ast.Identifier):
+                raise ParseError("only simple arrays can be subscripted", self.current)
+            indices: List[c_ast.CExpr] = []
+            while self._accept("punct", "["):
+                indices.append(self.parse_expression())
+                self._expect("punct", "]")
+            return c_ast.ArrayAccess(expr.name, tuple(indices))
+        return expr
+
+    def parse_primary(self) -> c_ast.CExpr:
+        if self._accept("punct", "("):
+            expr = self.parse_expression()
+            self._expect("punct", ")")
+            return expr
+        if self._check("int") or self._check("float"):
+            token = self._advance()
+            return c_ast.NumberLiteral.from_text(token.value, token.kind == "float")
+        if self._check("ident"):
+            name = self._advance().value
+            if self._accept("punct", "("):
+                args: List[c_ast.CExpr] = []
+                if not self._check("punct", ")"):
+                    args.append(self.parse_expression())
+                    while self._accept("punct", ","):
+                        args.append(self.parse_expression())
+                self._expect("punct", ")")
+                return c_ast.CallExpr(name, tuple(args))
+            return c_ast.Identifier(name)
+        raise ParseError("unexpected token", self.current)
+
+
+def parse_program(source: str) -> c_ast.Program:
+    """Tokenize and parse ``source`` into a program AST."""
+    return Parser(tokenize(source)).parse_program()

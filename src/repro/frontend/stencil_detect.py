@@ -1,0 +1,264 @@
+"""Stencil pattern detection — the analogue of AN5D's dedicated PPCG backend.
+
+Section 4.3.3 of the paper lists the restrictions under which AN5D detects a
+stencil in the normalised polyhedral representation:
+
+* the statement describing array accesses is a singleton with one store, and
+  the read addresses are static,
+* each dimension (time and space) is iterated by exactly one loop, with
+  multi-dimensional array addressing,
+* spatial iterations are data independent, the time loop is outermost, and
+  the loop right after the time loop is the streaming dimension.
+
+This module enforces the same restrictions on the parsed AST and extracts a
+:class:`repro.ir.StencilPattern` together with the symbolic loop bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.frontend import c_ast
+from repro.frontend.cparser import parse_program
+from repro.ir.expr import BinOp, Call, Const, Expr, GridRead, UnaryOp
+from repro.ir.stencil import StencilPattern
+
+
+class StencilDetectionError(ValueError):
+    """Raised when the input program is not a supported stencil."""
+
+
+@dataclass(frozen=True)
+class LoopInfo:
+    """One loop of the detected nest: its index variable and symbolic bounds."""
+
+    var: str
+    lower: str
+    upper: str
+    inclusive: bool
+
+
+@dataclass(frozen=True)
+class DetectedStencil:
+    """The result of stencil detection.
+
+    ``pattern`` is the IR-level stencil; ``time_loop`` and ``spatial_loops``
+    record the symbolic iteration bounds so host code generation can keep the
+    grid size a runtime parameter.
+    """
+
+    pattern: StencilPattern
+    time_loop: LoopInfo
+    spatial_loops: Tuple[LoopInfo, ...]
+
+    @property
+    def ndim(self) -> int:
+        return len(self.spatial_loops)
+
+
+def _bound_to_str(expr: c_ast.CExpr) -> str:
+    if isinstance(expr, c_ast.Identifier):
+        return expr.name
+    if isinstance(expr, c_ast.NumberLiteral):
+        return str(int(expr.value)) if not expr.is_float else str(expr.value)
+    if isinstance(expr, c_ast.BinaryExpr):
+        return f"({_bound_to_str(expr.lhs)} {expr.op} {_bound_to_str(expr.rhs)})"
+    if isinstance(expr, c_ast.UnaryExpr):
+        return f"({expr.op}{_bound_to_str(expr.operand)})"
+    raise StencilDetectionError(f"unsupported loop bound expression {expr!r}")
+
+
+def _loop_info(loop: c_ast.ForLoop) -> LoopInfo:
+    return LoopInfo(
+        var=loop.var,
+        lower=_bound_to_str(loop.lower),
+        upper=_bound_to_str(loop.upper),
+        inclusive=loop.inclusive,
+    )
+
+
+def _is_modulo_two(expr: c_ast.CExpr) -> bool:
+    return (
+        isinstance(expr, c_ast.BinaryExpr)
+        and expr.op == "%"
+        and isinstance(expr.rhs, c_ast.NumberLiteral)
+        and expr.rhs.value == 2
+    )
+
+
+def _time_index_offset(expr: c_ast.CExpr, time_var: str) -> int:
+    """Interpret a ``(t + k) % 2`` buffer index; return ``k`` (0 or 1)."""
+    if not _is_modulo_two(expr):
+        raise StencilDetectionError(
+            "array time index must be double buffered through '% 2'"
+        )
+    base = expr.lhs
+    if isinstance(base, c_ast.Identifier) and base.name == time_var:
+        return 0
+    if (
+        isinstance(base, c_ast.BinaryExpr)
+        and base.op == "+"
+        and isinstance(base.lhs, c_ast.Identifier)
+        and base.lhs.name == time_var
+        and isinstance(base.rhs, c_ast.NumberLiteral)
+    ):
+        return int(base.rhs.value)
+    raise StencilDetectionError("time index must be 't % 2' or '(t + 1) % 2'")
+
+
+def _spatial_offset(expr: c_ast.CExpr, var: str) -> int:
+    """Interpret a spatial subscript ``var``, ``var + c`` or ``var - c``."""
+    if isinstance(expr, c_ast.Identifier):
+        if expr.name != var:
+            raise StencilDetectionError(
+                f"subscript variable {expr.name!r} does not match loop variable {var!r}"
+            )
+        return 0
+    if isinstance(expr, c_ast.BinaryExpr) and expr.op in ("+", "-"):
+        lhs, rhs = expr.lhs, expr.rhs
+        if isinstance(lhs, c_ast.Identifier) and isinstance(rhs, c_ast.NumberLiteral):
+            if lhs.name != var:
+                raise StencilDetectionError(
+                    f"subscript variable {lhs.name!r} does not match loop variable {var!r}"
+                )
+            magnitude = int(rhs.value)
+            return magnitude if expr.op == "+" else -magnitude
+    raise StencilDetectionError(f"subscript must be affine in the loop variable: {expr!r}")
+
+
+def _collect_float_suffix(expr: c_ast.CExpr) -> bool:
+    """True when any literal in the expression carries an ``f`` suffix."""
+    if isinstance(expr, c_ast.NumberLiteral):
+        return expr.text.rstrip().lower().endswith("f")
+    if isinstance(expr, c_ast.BinaryExpr):
+        return _collect_float_suffix(expr.lhs) or _collect_float_suffix(expr.rhs)
+    if isinstance(expr, c_ast.UnaryExpr):
+        return _collect_float_suffix(expr.operand)
+    if isinstance(expr, c_ast.CallExpr):
+        return any(_collect_float_suffix(a) for a in expr.args)
+    return False
+
+
+class _ExpressionLowerer:
+    """Lowers a C expression to the stencil IR, resolving array accesses."""
+
+    _CALL_NAMES = {"sqrt", "sqrtf", "fabs", "fabsf", "exp", "expf", "min", "max", "fmin", "fmax"}
+
+    def __init__(self, array: str, time_var: str, spatial_vars: List[str]) -> None:
+        self.array = array
+        self.time_var = time_var
+        self.spatial_vars = spatial_vars
+
+    def lower(self, expr: c_ast.CExpr) -> Expr:
+        if isinstance(expr, c_ast.NumberLiteral):
+            return Const(expr.value)
+        if isinstance(expr, c_ast.ArrayAccess):
+            return self._lower_access(expr)
+        if isinstance(expr, c_ast.BinaryExpr):
+            if expr.op not in ("+", "-", "*", "/"):
+                raise StencilDetectionError(
+                    f"operator {expr.op!r} is not allowed in a stencil expression"
+                )
+            return BinOp(expr.op, self.lower(expr.lhs), self.lower(expr.rhs))
+        if isinstance(expr, c_ast.UnaryExpr):
+            if expr.op != "-":
+                raise StencilDetectionError(f"unsupported unary operator {expr.op!r}")
+            return UnaryOp("-", self.lower(expr.operand))
+        if isinstance(expr, c_ast.CallExpr):
+            if expr.name not in self._CALL_NAMES:
+                raise StencilDetectionError(f"unsupported call {expr.name!r}")
+            return Call(expr.name, tuple(self.lower(a) for a in expr.args))
+        if isinstance(expr, c_ast.Identifier):
+            raise StencilDetectionError(
+                f"free scalar variable {expr.name!r}: coefficients must be literal constants"
+            )
+        raise StencilDetectionError(f"unsupported expression {expr!r}")
+
+    def _lower_access(self, access: c_ast.ArrayAccess) -> GridRead:
+        if access.array != self.array:
+            raise StencilDetectionError(
+                f"stencil must read and write a single array; found {access.array!r}"
+            )
+        expected = 1 + len(self.spatial_vars)
+        if len(access.indices) != expected:
+            raise StencilDetectionError(
+                f"array access has {len(access.indices)} subscripts, expected {expected}"
+            )
+        if _time_index_offset(access.indices[0], self.time_var) != 0:
+            raise StencilDetectionError("right-hand side must read the previous time step")
+        offsets = tuple(
+            _spatial_offset(index, var)
+            for index, var in zip(access.indices[1:], self.spatial_vars)
+        )
+        return GridRead(self.array, offsets)
+
+
+def detect_stencil(
+    program: c_ast.Program,
+    name: str = "stencil",
+    dtype: str | None = None,
+    source: str | None = None,
+) -> DetectedStencil:
+    """Detect the stencil pattern in a parsed program.
+
+    ``dtype`` overrides data-type inference (which otherwise keys off ``f``
+    literal suffixes, matching how the benchmarks are written).
+    """
+    loops = program.loops
+    if len(loops) != 1:
+        raise StencilDetectionError(
+            f"expected exactly one top-level loop nest, found {len(loops)}"
+        )
+    nest = c_ast.nest_loops(loops[0])
+    if len(nest) < 3:
+        raise StencilDetectionError(
+            "expected a time loop plus at least two spatial loops"
+        )
+    body = c_ast.innermost_body(nest[-1])
+    statements = [s for s in body if isinstance(s, c_ast.Assignment)]
+    if len(body) != 1 or len(statements) != 1:
+        raise StencilDetectionError("the loop nest body must be a single assignment")
+    assignment = statements[0]
+    if assignment.op != "=":
+        raise StencilDetectionError("compound assignment is not a Jacobi stencil update")
+
+    time_loop, *spatial = nest
+    spatial_vars = [loop.var for loop in spatial]
+    if len(set(spatial_vars)) != len(spatial_vars) or time_loop.var in spatial_vars:
+        raise StencilDetectionError("loop variables must be distinct")
+
+    target = assignment.target
+    if len(target.indices) != 1 + len(spatial_vars):
+        raise StencilDetectionError("store must index the time buffer plus every spatial dim")
+    if _time_index_offset(target.indices[0], time_loop.var) != 1:
+        raise StencilDetectionError("store must write the next time step: '(t + 1) % 2'")
+    for index, var in zip(target.indices[1:], spatial_vars):
+        if _spatial_offset(index, var) != 0:
+            raise StencilDetectionError("store must target the centre cell of each dimension")
+
+    lowerer = _ExpressionLowerer(target.array, time_loop.var, spatial_vars)
+    expr = lowerer.lower(assignment.value)
+
+    if dtype is None:
+        dtype = "float" if _collect_float_suffix(assignment.value) else "double"
+
+    pattern = StencilPattern(
+        name=name,
+        ndim=len(spatial_vars),
+        expr=expr,
+        dtype=dtype,
+        array=target.array,
+        source=source,
+    )
+    return DetectedStencil(
+        pattern=pattern,
+        time_loop=_loop_info(time_loop),
+        spatial_loops=tuple(_loop_info(loop) for loop in spatial),
+    )
+
+
+def parse_stencil(source: str, name: str = "stencil", dtype: str | None = None) -> DetectedStencil:
+    """Parse C source and detect its stencil pattern in one step."""
+    program = parse_program(source)
+    return detect_stencil(program, name=name, dtype=dtype, source=source)

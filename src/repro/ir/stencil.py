@@ -1,0 +1,177 @@
+"""The :class:`StencilPattern` — AN5D's view of one stencil update.
+
+A pattern captures everything the rest of the framework needs: the update
+expression, the set of neighbour offsets it touches, the stencil radius and
+shape classification, the data type, and the grid it applies to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+from repro.ir import classify
+from repro.ir.expr import Expr, GridRead, Offset, grid_reads
+
+_DTYPE_BYTES = {"float": 4, "double": 8}
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Shape of the stencil's iteration space.
+
+    ``interior`` is the number of updated cells along each spatial dimension
+    (the paper's :math:`I_{S_i}`), ordered outermost-to-innermost — i.e. the
+    streaming dimension first.  The stored arrays additionally carry a
+    boundary ring of ``radius`` constant cells on every side.
+    """
+
+    interior: Tuple[int, ...]
+    time_steps: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "interior", tuple(int(v) for v in self.interior))
+        if any(v <= 0 for v in self.interior):
+            raise ValueError("grid dimensions must be positive")
+        if self.time_steps < 0:
+            raise ValueError("time_steps must be non-negative")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.interior)
+
+    @property
+    def cells(self) -> int:
+        total = 1
+        for v in self.interior:
+            total *= v
+        return total
+
+    def padded(self, radius: int) -> Tuple[int, ...]:
+        """Array shape including the constant boundary ring."""
+        return tuple(v + 2 * radius for v in self.interior)
+
+
+@dataclass(frozen=True)
+class AccessInfo:
+    """Aggregated information about one neighbour offset of the stencil."""
+
+    offset: Offset
+    count: int
+
+    @property
+    def is_center(self) -> bool:
+        return all(o == 0 for o in self.offset)
+
+    @property
+    def is_axis_aligned(self) -> bool:
+        return sum(1 for o in self.offset if o != 0) <= 1
+
+
+@dataclass(frozen=True)
+class StencilPattern:
+    """A single-statement, single-array Jacobi-style stencil update.
+
+    This is the unit AN5D transforms.  The pattern reads a set of neighbours
+    of ``array`` from time step ``t`` and writes ``array`` at time step
+    ``t + 1`` (double buffered through ``% 2`` in the original C source).
+    """
+
+    name: str
+    ndim: int
+    expr: Expr
+    dtype: str = "float"
+    array: str = "A"
+    source: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.ndim not in (1, 2, 3):
+            raise ValueError(f"unsupported stencil dimensionality {self.ndim}")
+        if self.dtype not in _DTYPE_BYTES:
+            raise ValueError(f"unsupported dtype {self.dtype!r}")
+        reads = grid_reads(self.expr)
+        if not reads:
+            raise ValueError("stencil expression contains no grid reads")
+        for read in reads:
+            if read.ndim != self.ndim:
+                raise ValueError(
+                    f"grid read {read} has {read.ndim} spatial dims, expected {self.ndim}"
+                )
+            if read.time_offset != 0:
+                raise ValueError("only reads from the previous time step are supported")
+
+    # -- geometric properties ---------------------------------------------
+    @property
+    def reads(self) -> list[GridRead]:
+        return grid_reads(self.expr)
+
+    @property
+    def offsets(self) -> list[Offset]:
+        """Distinct neighbour offsets, sorted lexicographically."""
+        return sorted({read.offset for read in self.reads})
+
+    @property
+    def accesses(self) -> list[AccessInfo]:
+        counts: Dict[Offset, int] = {}
+        for read in self.reads:
+            counts[read.offset] = counts.get(read.offset, 0) + 1
+        return [AccessInfo(offset, counts[offset]) for offset in sorted(counts)]
+
+    @property
+    def radius(self) -> int:
+        """The stencil radius ``rad``: the largest absolute offset component."""
+        return max(abs(component) for offset in self.offsets for component in offset)
+
+    @property
+    def word_bytes(self) -> int:
+        return _DTYPE_BYTES[self.dtype]
+
+    @property
+    def nword(self) -> int:
+        """Number of 4-byte words per cell value (the paper's ``nword``)."""
+        return _DTYPE_BYTES[self.dtype] // 4
+
+    # -- classification -----------------------------------------------------
+    @property
+    def shape(self) -> "classify.StencilShape":
+        return classify.classify_shape(self.offsets)
+
+    @property
+    def is_star(self) -> bool:
+        return self.shape is classify.StencilShape.STAR
+
+    @property
+    def is_box(self) -> bool:
+        return self.shape is classify.StencilShape.BOX
+
+    @property
+    def diagonal_access_free(self) -> bool:
+        return classify.is_diagonal_access_free(self.offsets)
+
+    @property
+    def associative(self) -> bool:
+        return classify.is_associative(self.expr)
+
+    @property
+    def has_division(self) -> bool:
+        return classify.uses_division(self.expr)
+
+    @property
+    def has_sqrt(self) -> bool:
+        return classify.uses_sqrt(self.expr)
+
+    @property
+    def streaming_offsets(self) -> list[int]:
+        """Distinct offsets along the streaming (outermost spatial) dimension."""
+        return sorted({offset[0] for offset in self.offsets})
+
+    def offsets_on_subplane(self, streaming_offset: int) -> list[Offset]:
+        """Offsets whose streaming-dimension component equals ``streaming_offset``."""
+        return [o for o in self.offsets if o[0] == streaming_offset]
+
+    def describe(self) -> str:
+        """A short human-readable description used by the CLI."""
+        return (
+            f"{self.name}: {self.ndim}D {self.shape.name.lower()} stencil, "
+            f"radius {self.radius}, {len(self.offsets)} points, dtype {self.dtype}"
+        )

@@ -1,0 +1,35 @@
+"""Roofline-based performance model (Section 5 of the paper).
+
+The model predicts kernel runtime from first principles: it classifies the
+threads of the N.5D execution model, converts the counts into global-memory,
+shared-memory and compute totals, discounts peak throughputs by the ALU and
+SM utilisation efficiencies, and takes the maximum of the three bottleneck
+times.  It is intentionally optimistic — the paper reports 49–67 % average
+accuracy — and the gap to "measured" performance is reproduced by the
+separate timing simulator in :mod:`repro.sim`.
+"""
+
+from repro.model.gpu_specs import GPUS, GpuSpec, get_gpu
+from repro.model.threads import ThreadWorkCounts, count_thread_work
+from repro.model.traffic import TrafficTotals, compute_traffic, shared_memory_access_per_thread
+from repro.model.registers import estimate_registers, register_pressure_ok, stencilgen_registers
+from repro.model.occupancy import OccupancyResult, occupancy_for
+from repro.model.roofline import PerformancePrediction, predict_performance
+
+__all__ = [
+    "GPUS",
+    "GpuSpec",
+    "OccupancyResult",
+    "PerformancePrediction",
+    "ThreadWorkCounts",
+    "TrafficTotals",
+    "compute_traffic",
+    "count_thread_work",
+    "estimate_registers",
+    "get_gpu",
+    "occupancy_for",
+    "predict_performance",
+    "register_pressure_ok",
+    "shared_memory_access_per_thread",
+    "stencilgen_registers",
+]

@@ -1,0 +1,119 @@
+"""Model-accuracy reporting (Section 7.2).
+
+The paper defines model accuracy as the ratio of measured ("Tuned") to
+predicted ("Model") performance and reports per-device averages — 49 %
+(16–86 %) on the P100 and 67 % (25–89 %) on the V100 — noting that accuracy
+improves when the double-precision-division stencils are excluded, and that
+since the model predicts shared memory as the bottleneck almost everywhere,
+accuracy can be read as an estimate of each device's shared-memory
+efficiency.
+
+This module computes the same statistics over any set of stencils using the
+autotuner and the timing simulator, so the reproduction's accuracy profile
+can be compared against the paper's numbers directly (the Table 5 bench uses
+it for its summary line).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.ir.stencil import GridSpec
+from repro.model.gpu_specs import GpuSpec, get_gpu
+from repro.stencils.library import BENCHMARKS, get_benchmark, load_pattern
+from repro.tuning.autotuner import AutoTuner
+
+
+@dataclass(frozen=True)
+class AccuracyEntry:
+    """Model accuracy of one tuned stencil."""
+
+    stencil: str
+    dtype: str
+    tuned_gflops: float
+    model_gflops: float
+    uses_division: bool
+
+    @property
+    def accuracy(self) -> float:
+        if self.model_gflops == 0:
+            return 0.0
+        return self.tuned_gflops / self.model_gflops
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Aggregate accuracy statistics for one device and data type."""
+
+    gpu: str
+    dtype: str
+    entries: List[AccuracyEntry]
+
+    def _values(self, entries: Sequence[AccuracyEntry]) -> List[float]:
+        return [entry.accuracy for entry in entries]
+
+    @property
+    def mean_accuracy(self) -> float:
+        values = self._values(self.entries)
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def min_accuracy(self) -> float:
+        return min(self._values(self.entries), default=0.0)
+
+    @property
+    def max_accuracy(self) -> float:
+        return max(self._values(self.entries), default=0.0)
+
+    @property
+    def mean_accuracy_excluding_division(self) -> float:
+        """Section 7.2 also reports accuracy with the division stencils
+        (whose double-precision code generation is pathological) excluded."""
+        kept = [entry for entry in self.entries if not entry.uses_division]
+        values = self._values(kept)
+        return sum(values) / len(values) if values else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.gpu} ({self.dtype}): mean accuracy {self.mean_accuracy:.0%} "
+            f"({self.min_accuracy:.0%}–{self.max_accuracy:.0%}), "
+            f"{self.mean_accuracy_excluding_division:.0%} excluding division stencils"
+        )
+
+
+def accuracy_report(
+    gpu: GpuSpec | str,
+    dtype: str = "float",
+    stencils: Iterable[str] | None = None,
+    grid_2d: GridSpec | None = None,
+    grid_3d: GridSpec | None = None,
+    top_k: int = 3,
+) -> AccuracyReport:
+    """Tune every requested stencil and collect its model accuracy.
+
+    Defaults to the full Table 3 suite on the paper's evaluation grids; pass
+    smaller grids for quick checks (the tests do).
+    """
+    spec = get_gpu(gpu) if isinstance(gpu, str) else gpu
+    tuner = AutoTuner(spec, top_k=top_k)
+    names = list(stencils) if stencils is not None else list(BENCHMARKS)
+    entries: List[AccuracyEntry] = []
+    for name in names:
+        benchmark = get_benchmark(name)
+        pattern = load_pattern(name, dtype)
+        if benchmark.ndim == 2:
+            grid = grid_2d or benchmark.default_grid()
+        else:
+            grid = grid_3d or benchmark.default_grid()
+        result = tuner.tune(pattern, grid)
+        entries.append(
+            AccuracyEntry(
+                stencil=name,
+                dtype=dtype,
+                tuned_gflops=result.best.measured_gflops,
+                model_gflops=result.best.predicted_gflops,
+                uses_division=pattern.has_division,
+            )
+        )
+    return AccuracyReport(gpu=spec.name, dtype=dtype, entries=entries)

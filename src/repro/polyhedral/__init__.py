@@ -1,0 +1,43 @@
+"""A small polyhedral toolkit (the stand-in for PPCG / isl).
+
+AN5D is implemented as a dedicated backend inside PPCG; it relies on the
+polyhedral frontend only for normalisation, dependence information and the
+iteration-domain bookkeeping of its restricted input language.  This package
+provides exactly that slice of functionality:
+
+* :mod:`repro.polyhedral.linexpr` — affine expressions over named variables,
+* :mod:`repro.polyhedral.sets` — integer sets described by affine constraints
+  with Fourier–Motzkin projection and emptiness testing,
+* :mod:`repro.polyhedral.domain` — iteration domains of stencil loop nests,
+* :mod:`repro.polyhedral.dependence` — flow-dependence analysis and the halo
+  arithmetic it implies,
+* :mod:`repro.polyhedral.schedule` — band schedules and rectangular tiling.
+"""
+
+from repro.polyhedral.linexpr import LinExpr
+from repro.polyhedral.sets import Constraint, IntegerSet
+from repro.polyhedral.domain import IterationDomain, stencil_iteration_domain
+from repro.polyhedral.dependence import (
+    DependenceVector,
+    flow_dependences,
+    max_negative_reach,
+    required_halo,
+    tiling_is_legal,
+)
+from repro.polyhedral.schedule import Band, ScheduleTree, tile_band
+
+__all__ = [
+    "Band",
+    "Constraint",
+    "DependenceVector",
+    "IntegerSet",
+    "IterationDomain",
+    "LinExpr",
+    "ScheduleTree",
+    "flow_dependences",
+    "max_negative_reach",
+    "required_halo",
+    "stencil_iteration_domain",
+    "tile_band",
+    "tiling_is_legal",
+]

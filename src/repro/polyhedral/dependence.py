@@ -1,0 +1,112 @@
+"""Flow-dependence analysis for Jacobi stencils.
+
+For a double-buffered stencil that writes ``A[t+1][x]`` and reads
+``A[t][x + d]`` for each neighbour offset ``d``, the flow dependences are the
+distance vectors ``(1, -d)``.  From these the framework derives:
+
+* the halo width required to combine ``bT`` time steps with overlapped
+  tiling (``bT * rad`` per side, Section 2.3),
+* legality of a rectangular space/time tiling (all dependences must stay
+  within the halo the tile provides).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.ir.stencil import StencilPattern
+
+
+@dataclass(frozen=True)
+class DependenceVector:
+    """A flow-dependence distance ``(time, space...)`` between iterations."""
+
+    time: int
+    space: Tuple[int, ...]
+
+    @property
+    def is_lexicographically_positive(self) -> bool:
+        if self.time != 0:
+            return self.time > 0
+        for component in self.space:
+            if component != 0:
+                return component > 0
+        return False
+
+
+def flow_dependences(pattern: StencilPattern) -> list[DependenceVector]:
+    """All flow dependences of one stencil update.
+
+    The write at iteration ``(t, x)`` (storing time step ``t + 1``) is read by
+    iteration ``(t + 1, x - d)`` for every neighbour offset ``d``, giving the
+    distance vector ``(1, -d)``.
+    """
+    return [
+        DependenceVector(1, tuple(-component for component in offset))
+        for offset in pattern.offsets
+    ]
+
+
+def max_negative_reach(pattern: StencilPattern) -> Tuple[int, ...]:
+    """Per-dimension maximum dependence reach (equals the stencil radius)."""
+    reach = [0] * pattern.ndim
+    for dep in flow_dependences(pattern):
+        for dim, component in enumerate(dep.space):
+            reach[dim] = max(reach[dim], abs(component))
+    return tuple(reach)
+
+
+def required_halo(pattern: StencilPattern, time_block: int) -> Tuple[int, ...]:
+    """Halo width per side required for overlapped tiling of ``time_block`` steps.
+
+    Each combined time step widens the dependence cone by the stencil radius,
+    so after ``bT`` steps a block needs ``bT * rad`` extra cells on each side
+    of each blocked dimension (Section 2.3: blocks overlap by
+    ``2 * bT * rad``).
+    """
+    if time_block < 1:
+        raise ValueError("time_block must be at least 1")
+    return tuple(time_block * reach for reach in max_negative_reach(pattern))
+
+
+def tiling_is_legal(
+    pattern: StencilPattern,
+    time_block: int,
+    block_sizes: Sequence[int],
+    blocked_dims: Sequence[int] | None = None,
+) -> bool:
+    """Check that an overlapped space/time tile is well formed.
+
+    A tile of ``block_sizes`` cells per blocked dimension processing
+    ``time_block`` time steps is legal when every blocked dimension retains a
+    non-empty compute region after shrinking by the halo on both sides, and
+    every dependence is lexicographically positive (always true for Jacobi
+    stencils, asserted for safety).
+    """
+    if blocked_dims is None:
+        blocked_dims = list(range(len(block_sizes)))
+    if len(blocked_dims) != len(block_sizes):
+        raise ValueError("block_sizes and blocked_dims must have equal length")
+    deps = flow_dependences(pattern)
+    if not all(dep.is_lexicographically_positive for dep in deps):
+        return False
+    halo = required_halo(pattern, time_block)
+    for dim, size in zip(blocked_dims, block_sizes):
+        if size - 2 * halo[dim] <= 0:
+            return False
+    return True
+
+
+def dependence_cone_volume(pattern: StencilPattern, time_block: int) -> int:
+    """Number of source cells one output cell transitively depends on.
+
+    Used by tests as an independent check of the halo formula: the dependence
+    cone after ``bT`` steps spans ``2 * bT * rad + 1`` cells per dimension for
+    box stencils and is contained in that box for star stencils.
+    """
+    halo = required_halo(pattern, time_block)
+    volume = 1
+    for width in halo:
+        volume *= 2 * width + 1
+    return volume

@@ -1,0 +1,84 @@
+"""Iteration domains of stencil loop nests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Tuple
+
+from repro.ir.stencil import GridSpec, StencilPattern
+from repro.polyhedral.linexpr import LinExpr
+from repro.polyhedral.sets import Constraint, IntegerSet
+
+TIME_VAR = "t"
+SPACE_VARS = ("s0", "s1", "s2")
+
+
+@dataclass(frozen=True)
+class IterationDomain:
+    """The integer set of (time, space...) iterations of one stencil nest."""
+
+    space: IntegerSet
+    time_var: str
+    spatial_vars: Tuple[str, ...]
+
+    @property
+    def ndim(self) -> int:
+        return len(self.spatial_vars)
+
+    def spatial_extent(self, dim: int) -> int:
+        low, high = self.space.integer_bounds(self.spatial_vars[dim])
+        return high - low + 1
+
+    def time_extent(self) -> int:
+        low, high = self.space.integer_bounds(self.time_var)
+        return high - low + 1
+
+    def cells_per_time_step(self) -> int:
+        total = 1
+        for dim in range(self.ndim):
+            total *= self.spatial_extent(dim)
+        return total
+
+    def total_updates(self) -> int:
+        return self.cells_per_time_step() * self.time_extent()
+
+    def restrict_time(self, start: int, stop: int) -> "IterationDomain":
+        """Sub-domain covering time steps ``start .. stop - 1``."""
+        restricted = self.space.with_constraint(
+            Constraint.ge(LinExpr.var(self.time_var), LinExpr.constant(start)),
+            Constraint.le(LinExpr.var(self.time_var), LinExpr.constant(stop - 1)),
+        )
+        return IterationDomain(restricted, self.time_var, self.spatial_vars)
+
+
+def stencil_iteration_domain(pattern: StencilPattern, grid: GridSpec) -> IterationDomain:
+    """Build the iteration domain of ``pattern`` over ``grid``.
+
+    Spatial variables use zero-based indexing of the interior cells (the
+    boundary ring is not iterated, matching the benchmarks' ``1 .. I_S``
+    loops shifted to ``0 .. I_S - 1``).
+    """
+    if grid.ndim != pattern.ndim:
+        raise ValueError("grid dimensionality does not match stencil pattern")
+    spatial_vars = SPACE_VARS[: pattern.ndim]
+    bounds: dict[str, tuple[int, int]] = {TIME_VAR: (0, max(grid.time_steps - 1, 0))}
+    for var, extent in zip(spatial_vars, grid.interior):
+        bounds[var] = (0, extent - 1)
+    return IterationDomain(IntegerSet.box(bounds), TIME_VAR, tuple(spatial_vars))
+
+
+def block_domain(
+    pattern: StencilPattern,
+    grid: GridSpec,
+    block_origin: Sequence[int],
+    block_size: Sequence[int],
+) -> IntegerSet:
+    """The spatial set covered by one thread block (before halo clipping)."""
+    spatial_vars = SPACE_VARS[: pattern.ndim]
+    constraints = []
+    for var, origin, size, extent in zip(spatial_vars, block_origin, block_size, grid.interior):
+        constraints.append(Constraint.ge(LinExpr.var(var), LinExpr.constant(origin)))
+        constraints.append(Constraint.le(LinExpr.var(var), LinExpr.constant(origin + size - 1)))
+        constraints.append(Constraint.ge(LinExpr.var(var), LinExpr.constant(0)))
+        constraints.append(Constraint.le(LinExpr.var(var), LinExpr.constant(extent - 1)))
+    return IntegerSet(spatial_vars, constraints)

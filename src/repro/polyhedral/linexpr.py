@@ -1,0 +1,113 @@
+"""Affine (linear + constant) expressions over named integer variables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping
+
+
+@dataclass(frozen=True)
+class LinExpr:
+    """An affine expression ``sum(coeff[v] * v) + const``.
+
+    Coefficients are exact rationals so that Fourier–Motzkin elimination does
+    not lose precision; variables with a zero coefficient are never stored.
+    """
+
+    coeffs: Mapping[str, Fraction] = field(default_factory=dict)
+    const: Fraction = Fraction(0)
+
+    def __post_init__(self) -> None:
+        cleaned = {
+            var: Fraction(c) for var, c in self.coeffs.items() if Fraction(c) != 0
+        }
+        object.__setattr__(self, "coeffs", cleaned)
+        object.__setattr__(self, "const", Fraction(self.const))
+
+    # -- constructors --------------------------------------------------------
+    @staticmethod
+    def var(name: str, coeff: int | Fraction = 1) -> "LinExpr":
+        return LinExpr({name: Fraction(coeff)})
+
+    @staticmethod
+    def constant(value: int | Fraction) -> "LinExpr":
+        return LinExpr({}, Fraction(value))
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def variables(self) -> frozenset[str]:
+        return frozenset(self.coeffs)
+
+    def coefficient(self, var: str) -> Fraction:
+        return self.coeffs.get(var, Fraction(0))
+
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def evaluate(self, assignment: Mapping[str, int | Fraction]) -> Fraction:
+        total = Fraction(self.const)
+        for var, coeff in self.coeffs.items():
+            if var not in assignment:
+                raise KeyError(f"no value for variable {var!r}")
+            total += coeff * Fraction(assignment[var])
+        return total
+
+    # -- arithmetic ------------------------------------------------------------
+    def _combine(self, other: "LinExpr | int | Fraction", sign: int) -> "LinExpr":
+        other = _as_linexpr(other)
+        coeffs: Dict[str, Fraction] = dict(self.coeffs)
+        for var, coeff in other.coeffs.items():
+            coeffs[var] = coeffs.get(var, Fraction(0)) + sign * coeff
+        return LinExpr(coeffs, self.const + sign * other.const)
+
+    def __add__(self, other: "LinExpr | int | Fraction") -> "LinExpr":
+        return self._combine(other, 1)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "LinExpr | int | Fraction") -> "LinExpr":
+        return self._combine(other, -1)
+
+    def __rsub__(self, other: "LinExpr | int | Fraction") -> "LinExpr":
+        return _as_linexpr(other)._combine(self, -1)
+
+    def __mul__(self, scalar: int | Fraction) -> "LinExpr":
+        factor = Fraction(scalar)
+        return LinExpr({v: c * factor for v, c in self.coeffs.items()}, self.const * factor)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1
+
+    def rename(self, mapping: Mapping[str, str]) -> "LinExpr":
+        return LinExpr(
+            {mapping.get(v, v): c for v, c in self.coeffs.items()}, self.const
+        )
+
+    def substitute(self, var: str, replacement: "LinExpr") -> "LinExpr":
+        """Replace ``var`` by an affine expression."""
+        if var not in self.coeffs:
+            return self
+        coeff = self.coeffs[var]
+        remaining = LinExpr({v: c for v, c in self.coeffs.items() if v != var}, self.const)
+        return remaining + replacement * coeff
+
+    def __repr__(self) -> str:
+        parts = [f"{c}*{v}" for v, c in sorted(self.coeffs.items())]
+        parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+def _as_linexpr(value: "LinExpr | int | Fraction") -> LinExpr:
+    if isinstance(value, LinExpr):
+        return value
+    return LinExpr.constant(Fraction(value))
+
+
+def sum_exprs(exprs: Iterable[LinExpr]) -> LinExpr:
+    total = LinExpr.constant(0)
+    for expr in exprs:
+        total = total + expr
+    return total

@@ -1,0 +1,124 @@
+"""Band schedules and rectangular tiling.
+
+PPCG represents schedules as trees of bands; AN5D's transformation can be
+seen as (1) tiling the time band by ``bT``, (2) tiling the non-streaming
+spatial bands by ``bS_i`` with overlap, and (3) streaming the remaining
+spatial band.  The loop-tiling baseline reuses the same machinery with plain
+(non-overlapped) rectangular tiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Band:
+    """A schedule band: an ordered group of loop dimensions."""
+
+    members: Tuple[str, ...]
+    tile_sizes: Tuple[int, ...] | None = None
+    overlapped: bool = False
+    streamed_member: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.tile_sizes is not None and len(self.tile_sizes) != len(self.members):
+            raise ValueError("tile_sizes must match band members")
+        if self.streamed_member is not None and self.streamed_member not in self.members:
+            raise ValueError("streamed member must belong to the band")
+
+    @property
+    def is_tiled(self) -> bool:
+        return self.tile_sizes is not None
+
+
+@dataclass(frozen=True)
+class ScheduleTree:
+    """A (linear) schedule tree: an ordered sequence of bands.
+
+    The restricted stencil programs AN5D accepts always produce a two-band
+    tree — the time band followed by the spatial band — so a sequence is
+    sufficient; no filter/extension nodes are needed.
+    """
+
+    bands: Tuple[Band, ...]
+
+    @property
+    def loop_order(self) -> Tuple[str, ...]:
+        order: list[str] = []
+        for band in self.bands:
+            order.extend(band.members)
+        return tuple(order)
+
+    def replace_band(self, index: int, band: Band) -> "ScheduleTree":
+        bands = list(self.bands)
+        bands[index] = band
+        return ScheduleTree(tuple(bands))
+
+
+def initial_schedule(time_var: str, spatial_vars: Sequence[str]) -> ScheduleTree:
+    """The identity schedule of a stencil nest: time band then space band."""
+    return ScheduleTree((Band((time_var,)), Band(tuple(spatial_vars))))
+
+
+def tile_band(band: Band, tile_sizes: Sequence[int], overlapped: bool = False) -> Band:
+    """Tile a band rectangularly (optionally with overlapped tiles)."""
+    sizes = tuple(int(s) for s in tile_sizes)
+    if any(s < 1 for s in sizes):
+        raise ValueError("tile sizes must be positive")
+    return replace(band, tile_sizes=sizes, overlapped=overlapped)
+
+
+def an5d_schedule(
+    time_var: str,
+    spatial_vars: Sequence[str],
+    time_block: int,
+    spatial_blocks: Sequence[int],
+    stream_block: int | None,
+) -> ScheduleTree:
+    """Build the schedule tree corresponding to an AN5D configuration.
+
+    The first spatial variable is the streaming dimension; the remaining ones
+    are blocked with overlapped tiles of the given sizes.  ``stream_block``
+    (the paper's ``hS_N``) optionally tiles the streaming dimension as well
+    (Section 4.2.3, division of the streaming dimension).
+    """
+    spatial_vars = tuple(spatial_vars)
+    if len(spatial_blocks) != len(spatial_vars) - 1:
+        raise ValueError("expected one spatial block size per non-streaming dimension")
+    time_band = tile_band(Band((time_var,)), (time_block,))
+    stream_var = spatial_vars[0]
+    stream_sizes = (stream_block,) if stream_block is not None else None
+    space_band = Band(
+        spatial_vars,
+        tile_sizes=(stream_sizes[0] if stream_sizes else 0,) + tuple(spatial_blocks)
+        if stream_sizes
+        else None,
+        overlapped=True,
+        streamed_member=stream_var,
+    )
+    if stream_sizes is None:
+        # Leave the streaming dimension untiled but mark blocked dims.
+        space_band = Band(
+            spatial_vars,
+            tile_sizes=(0,) + tuple(spatial_blocks),
+            overlapped=True,
+            streamed_member=stream_var,
+        )
+    return ScheduleTree((time_band, space_band))
+
+
+def loop_tiling_schedule(
+    time_var: str, spatial_vars: Sequence[str], tile_sizes: Sequence[int]
+) -> ScheduleTree:
+    """The PPCG default loop-tiling schedule used as the weakest baseline."""
+    spatial_vars = tuple(spatial_vars)
+    if len(tile_sizes) != len(spatial_vars):
+        raise ValueError("expected one tile size per spatial dimension")
+    return ScheduleTree(
+        (
+            Band((time_var,)),
+            tile_band(Band(spatial_vars), tile_sizes, overlapped=False),
+        )
+    )

@@ -1,0 +1,215 @@
+"""Integer sets described by conjunctions of affine constraints.
+
+This is the minimal slice of isl needed by the AN5D reproduction: basic sets
+(single conjunctions), intersection, rational emptiness testing and variable
+elimination via Fourier–Motzkin, per-variable bounds, membership tests and
+exact point counting for box-shaped sets (which is all the execution model
+needs — iteration domains of rectangular loop nests are boxes).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable, Iterator, Mapping, Sequence, Tuple
+
+from repro.polyhedral.linexpr import LinExpr
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """An affine constraint ``expr >= 0`` (or ``expr == 0`` when ``equality``)."""
+
+    expr: LinExpr
+    equality: bool = False
+
+    @staticmethod
+    def ge(lhs: LinExpr, rhs: LinExpr | int = 0) -> "Constraint":
+        """Constraint ``lhs >= rhs``."""
+        return Constraint(lhs - rhs)
+
+    @staticmethod
+    def le(lhs: LinExpr, rhs: LinExpr | int = 0) -> "Constraint":
+        """Constraint ``lhs <= rhs``."""
+        return Constraint((rhs - lhs) if isinstance(rhs, LinExpr) else (LinExpr.constant(rhs) - lhs))
+
+    @staticmethod
+    def eq(lhs: LinExpr, rhs: LinExpr | int = 0) -> "Constraint":
+        """Constraint ``lhs == rhs``."""
+        diff = lhs - rhs if isinstance(rhs, LinExpr) else lhs - LinExpr.constant(rhs)
+        return Constraint(diff, equality=True)
+
+    def satisfied(self, assignment: Mapping[str, int | Fraction]) -> bool:
+        value = self.expr.evaluate(assignment)
+        return value == 0 if self.equality else value >= 0
+
+    def rename(self, mapping: Mapping[str, str]) -> "Constraint":
+        return Constraint(self.expr.rename(mapping), self.equality)
+
+
+class IntegerSet:
+    """A conjunction of affine constraints over a fixed tuple of variables."""
+
+    def __init__(self, variables: Sequence[str], constraints: Iterable[Constraint] = ()) -> None:
+        self.variables: Tuple[str, ...] = tuple(variables)
+        if len(set(self.variables)) != len(self.variables):
+            raise ValueError("duplicate variables in set space")
+        self.constraints: Tuple[Constraint, ...] = tuple(constraints)
+        for constraint in self.constraints:
+            unknown = constraint.expr.variables - set(self.variables)
+            if unknown:
+                raise ValueError(f"constraint references unknown variables {sorted(unknown)}")
+
+    # -- constructors --------------------------------------------------------
+    @staticmethod
+    def box(bounds: Mapping[str, tuple[int, int]]) -> "IntegerSet":
+        """The box ``lower <= var <= upper`` for each entry of ``bounds``."""
+        constraints = []
+        for var, (lower, upper) in bounds.items():
+            constraints.append(Constraint.ge(LinExpr.var(var), LinExpr.constant(lower)))
+            constraints.append(Constraint.le(LinExpr.var(var), LinExpr.constant(upper)))
+        return IntegerSet(tuple(bounds), constraints)
+
+    @staticmethod
+    def universe(variables: Sequence[str]) -> "IntegerSet":
+        return IntegerSet(variables)
+
+    # -- basic operations ------------------------------------------------------
+    def with_constraint(self, *constraints: Constraint) -> "IntegerSet":
+        return IntegerSet(self.variables, self.constraints + tuple(constraints))
+
+    def intersect(self, other: "IntegerSet") -> "IntegerSet":
+        if set(self.variables) != set(other.variables):
+            raise ValueError("cannot intersect sets over different spaces")
+        return IntegerSet(self.variables, self.constraints + other.constraints)
+
+    def rename(self, mapping: Mapping[str, str]) -> "IntegerSet":
+        return IntegerSet(
+            tuple(mapping.get(v, v) for v in self.variables),
+            tuple(c.rename(mapping) for c in self.constraints),
+        )
+
+    def contains(self, point: Mapping[str, int] | Sequence[int]) -> bool:
+        if not isinstance(point, Mapping):
+            point = dict(zip(self.variables, point))
+        return all(constraint.satisfied(point) for constraint in self.constraints)
+
+    # -- Fourier–Motzkin --------------------------------------------------------
+    def _normalised_inequalities(self) -> list[LinExpr]:
+        """All constraints as a list of inequalities ``expr >= 0``."""
+        inequalities: list[LinExpr] = []
+        for constraint in self.constraints:
+            inequalities.append(constraint.expr)
+            if constraint.equality:
+                inequalities.append(-constraint.expr)
+        return inequalities
+
+    def project_out(self, var: str) -> "IntegerSet":
+        """Eliminate ``var`` (rational Fourier–Motzkin projection)."""
+        if var not in self.variables:
+            raise ValueError(f"{var!r} is not a variable of this set")
+        lowers: list[LinExpr] = []  # expressions e with  var >= e
+        uppers: list[LinExpr] = []  # expressions e with  var <= e
+        free: list[LinExpr] = []
+        for expr in self._normalised_inequalities():
+            coeff = expr.coefficient(var)
+            if coeff == 0:
+                free.append(expr)
+                continue
+            # expr >= 0  <=>  coeff*var >= -(expr - coeff*var)
+            rest = expr - LinExpr.var(var, coeff)
+            bound = -rest * (Fraction(1) / coeff)
+            if coeff > 0:
+                lowers.append(bound)  # var >= bound
+            else:
+                uppers.append(bound)  # var <= bound
+        new_constraints = [Constraint(expr) for expr in free]
+        for low in lowers:
+            for up in uppers:
+                new_constraints.append(Constraint(up - low))
+        remaining = tuple(v for v in self.variables if v != var)
+        return IntegerSet(remaining, new_constraints)
+
+    def is_empty(self) -> bool:
+        """Rational emptiness test by eliminating every variable.
+
+        Exact for the rational relaxation; for the box-like sets used by the
+        execution model this coincides with integer emptiness.
+        """
+        current = self
+        for var in self.variables:
+            current = current.project_out(var)
+        return any(
+            constraint.expr.const < 0 or (constraint.equality and constraint.expr.const != 0)
+            for constraint in current.constraints
+        )
+
+    def bounds(self, var: str) -> tuple[Fraction | None, Fraction | None]:
+        """Rational lower/upper bounds of ``var`` over the set (None = unbounded)."""
+        others = [v for v in self.variables if v != var]
+        current = self
+        for other in others:
+            current = current.project_out(other)
+        lower: Fraction | None = None
+        upper: Fraction | None = None
+        for expr in current._normalised_inequalities():
+            coeff = expr.coefficient(var)
+            if coeff == 0:
+                continue
+            bound = -(expr.const) / coeff
+            if coeff > 0:
+                lower = bound if lower is None else max(lower, bound)
+            else:
+                upper = bound if upper is None else min(upper, bound)
+        return lower, upper
+
+    # -- enumeration -------------------------------------------------------------
+    def integer_bounds(self, var: str) -> tuple[int, int]:
+        lower, upper = self.bounds(var)
+        if lower is None or upper is None:
+            raise ValueError(f"variable {var!r} is unbounded")
+        return math.ceil(lower), math.floor(upper)
+
+    def points(self, limit: int = 1_000_000) -> Iterator[Tuple[int, ...]]:
+        """Enumerate integer points (bounded sets only).
+
+        Enumeration walks the bounding box and filters by membership, so it is
+        only intended for the small sets used in tests and halo accounting.
+        """
+        ranges = []
+        total = 1
+        for var in self.variables:
+            low, high = self.integer_bounds(var)
+            if high < low:
+                return
+            span = high - low + 1
+            total *= span
+            if total > limit:
+                raise ValueError(f"set too large to enumerate (> {limit} candidate points)")
+            ranges.append(range(low, high + 1))
+        for candidate in itertools.product(*ranges):
+            if self.contains(candidate):
+                yield candidate
+
+    def count(self, limit: int = 1_000_000) -> int:
+        """Number of integer points in the set (bounded sets only)."""
+        if self.is_empty():
+            return 0
+        if self._is_box():
+            total = 1
+            for var in self.variables:
+                low, high = self.integer_bounds(var)
+                if high < low:
+                    return 0
+                total *= high - low + 1
+            return total
+        return sum(1 for _ in self.points(limit))
+
+    def _is_box(self) -> bool:
+        """True when every constraint involves at most one variable."""
+        return all(len(c.expr.variables) <= 1 for c in self.constraints)
+
+    def __repr__(self) -> str:
+        return f"IntegerSet({list(self.variables)}, {len(self.constraints)} constraints)"

@@ -1,0 +1,121 @@
+"""Result formatting and export.
+
+The benchmark harness and the CLI produce tabular results (Table 5 rows,
+Fig. 6 columns, bT sweeps).  This module gives them a common in-memory
+representation with text, Markdown, CSV and JSON renderings plus a simple
+ASCII bar chart for figure-like series, so results can be archived or diffed
+against the paper without any plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Mapping, Sequence
+
+
+@dataclass
+class ResultTable:
+    """An ordered table of benchmark results."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> "ResultTable":
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} values, got {len(values)}"
+            )
+        self.rows.append(tuple(values))
+        return self
+
+    def add_dict(self, record: Mapping[str, object]) -> "ResultTable":
+        return self.add_row(*[record[h] for h in self.headers])
+
+    # -- renderings -----------------------------------------------------------
+    def to_text(self) -> str:
+        rows = [[str(v) for v in row] for row in self.rows]
+        widths = [len(h) for h in self.headers]
+        for row in rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title, ""]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers)))
+        lines.append("  ".join("-" * widths[i] for i in range(len(self.headers))))
+        for row in rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(str(v) for v in row) + " |")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.headers)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+    def to_json(self) -> str:
+        records = [dict(zip(self.headers, row)) for row in self.rows]
+        return json.dumps({"title": self.title, "rows": records}, indent=2)
+
+    def to_records(self) -> List[dict]:
+        return [dict(zip(self.headers, row)) for row in self.rows]
+
+    # -- persistence --------------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        """Save in the format implied by the file suffix (.csv/.json/.md/.txt)."""
+        path = Path(path)
+        renderers = {
+            ".csv": self.to_csv,
+            ".json": self.to_json,
+            ".md": self.to_markdown,
+            ".txt": self.to_text,
+        }
+        renderer = renderers.get(path.suffix)
+        if renderer is None:
+            raise ValueError(f"unsupported result format {path.suffix!r}")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(renderer() + "\n")
+        return path
+
+
+def bar_chart(
+    labels: Sequence[str], values: Sequence[float], width: int = 40, unit: str = ""
+) -> str:
+    """Render an ASCII horizontal bar chart (the poor man's Fig. 6 panel)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        return "(no data)"
+    scale = max(values)
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * (int(width * value / scale) if scale > 0 else 0)
+        lines.append(f"{label.ljust(label_width)}  {value:10.1f} {unit} {bar}")
+    return "\n".join(lines)
+
+
+def series_table(title: str, x_name: str, series: Mapping[str, Mapping[object, float]]) -> ResultTable:
+    """Build a table from one or more named series sharing an x axis."""
+    x_values: List[object] = []
+    for points in series.values():
+        for x in points:
+            if x not in x_values:
+                x_values.append(x)
+    headers = [x_name, *series.keys()]
+    table = ResultTable(title, headers)
+    for x in x_values:
+        table.add_row(x, *[series[name].get(x, "") for name in series])
+    return table

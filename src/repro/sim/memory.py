@@ -1,0 +1,69 @@
+"""Sustained-bandwidth models of the simulated memory system.
+
+The analytic model of Section 5 assumes the kernel always sustains the
+*measured peak* bandwidths of Table 4.  Real kernels do not: sustained
+bandwidth depends on how much parallelism is resident (occupancy) and, for
+shared memory, on the device's shared-memory architecture (Section 7.2 shows
+P100 sustaining less than half of V100's shared-memory throughput for the
+same kernels).  These curves are what turn the analytic model into the
+"measured" numbers of the timing simulator.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.model.gpu_specs import GpuSpec
+
+#: Occupancy at which global memory bandwidth saturates on Pascal/Volta.
+_GLOBAL_SATURATION_OCCUPANCY = 0.25
+#: Occupancy at which shared memory bandwidth saturates.
+_SHARED_SATURATION_OCCUPANCY = 0.45
+
+
+def _latency_limited_fraction(occupancy: float, saturation: float) -> float:
+    """Little's-law style ramp: bandwidth grows with resident parallelism and
+    saturates once enough warps are in flight to hide latency."""
+    if occupancy <= 0.0:
+        return 0.0
+    return min(1.0, occupancy / saturation)
+
+
+def sustained_global_bandwidth(gpu: GpuSpec, dtype: str, occupancy: float) -> float:
+    """Sustained global-memory bandwidth (GB/s) at a given occupancy."""
+    peak = gpu.measured_membw(dtype)
+    return peak * _latency_limited_fraction(occupancy, _GLOBAL_SATURATION_OCCUPANCY)
+
+
+def sustained_shared_bandwidth(gpu: GpuSpec, dtype: str, occupancy: float) -> float:
+    """Sustained shared-memory bandwidth (GB/s) at a given occupancy.
+
+    On top of the occupancy ramp, the device-specific ``shared_efficiency``
+    factor captures how far N.5D kernels stay from gpumembench's measured
+    peak even at full occupancy (bank conflicts, pointer arithmetic, and the
+    synchronisations interleaved with the accesses).
+    """
+    peak = gpu.measured_smembw(dtype) * gpu.shared_efficiency(dtype)
+    return peak * _latency_limited_fraction(occupancy, _SHARED_SATURATION_OCCUPANCY)
+
+
+def synchronization_cost_seconds(
+    gpu: GpuSpec, syncs_per_block: int, blocks: int, blocks_per_sm: int
+) -> float:
+    """Aggregate cost of ``__syncthreads`` barriers across a launch.
+
+    Each barrier costs a few tens of nanoseconds of pipeline drain per
+    resident block; barriers of different blocks on different SMs overlap, so
+    the cost is divided by the number of concurrently resident blocks.
+    """
+    if blocks == 0 or blocks_per_sm == 0:
+        return 0.0
+    barrier_seconds = 2.0e-8
+    concurrent = blocks_per_sm * gpu.sm_count
+    waves = math.ceil(blocks / concurrent)
+    return syncs_per_block * barrier_seconds * waves
+
+
+def kernel_launch_overhead_seconds(launches: int) -> float:
+    """Host-side launch latency (one launch per bT combined steps)."""
+    return 5.0e-6 * launches

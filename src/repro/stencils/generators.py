@@ -1,0 +1,136 @@
+"""Synthetic star/box stencil generators (the star*/box* rows of Table 3).
+
+Each generator produces both an IR-level :class:`StencilPattern` (built
+directly) and the corresponding C source text (so the same stencils also
+exercise the frontend).  Coefficients are deterministic functions of the
+offset, which keeps generated code, IR and NumPy references consistent.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Tuple
+
+from repro.ir.expr import BinOp, Const, Expr, GridRead
+from repro.ir.stencil import StencilPattern
+
+_LOOP_VARS = ("i", "j", "k")
+
+
+def _coefficient(offset: Tuple[int, ...]) -> float:
+    """Deterministic per-offset coefficient.
+
+    The values are scaled so that coefficients sum to roughly 1, keeping the
+    iteration numerically stable over the hundreds of time steps used by the
+    functional correctness tests.
+    """
+    weight = 1.0 + 0.1 * sum(index * (dim + 1) for dim, index in enumerate(offset))
+    return round(weight, 6)
+
+
+def _normalised_terms(offsets: List[Tuple[int, ...]], array: str) -> Expr:
+    total = sum(abs(_coefficient(o)) for o in offsets)
+    terms = [
+        BinOp("*", Const(round(_coefficient(o) / total, 9)), GridRead(array, o)) for o in offsets
+    ]
+    expr = terms[0]
+    for term in terms[1:]:
+        expr = BinOp("+", expr, term)
+    return expr
+
+
+def star_offsets(ndim: int, radius: int) -> List[Tuple[int, ...]]:
+    """Offsets of a star stencil: centre plus axis-aligned neighbours."""
+    offsets = [tuple([0] * ndim)]
+    for dim in range(ndim):
+        for distance in range(1, radius + 1):
+            for sign in (-1, 1):
+                offset = [0] * ndim
+                offset[dim] = sign * distance
+                offsets.append(tuple(offset))
+    return sorted(offsets)
+
+
+def box_offsets(ndim: int, radius: int) -> List[Tuple[int, ...]]:
+    """Offsets of a box stencil: the full ``(2*radius + 1)^ndim`` cube."""
+    return sorted(itertools.product(range(-radius, radius + 1), repeat=ndim))
+
+
+def star_stencil(ndim: int, radius: int, dtype: str = "float", array: str = "A") -> StencilPattern:
+    """Build a synthetic star stencil pattern (``star{ndim}d{radius}r``)."""
+    _validate(ndim, radius)
+    expr = _normalised_terms(star_offsets(ndim, radius), array)
+    return StencilPattern(
+        name=f"star{ndim}d{radius}r", ndim=ndim, expr=expr, dtype=dtype, array=array
+    )
+
+
+def box_stencil(ndim: int, radius: int, dtype: str = "float", array: str = "A") -> StencilPattern:
+    """Build a synthetic box stencil pattern (``box{ndim}d{radius}r``)."""
+    _validate(ndim, radius)
+    expr = _normalised_terms(box_offsets(ndim, radius), array)
+    return StencilPattern(
+        name=f"box{ndim}d{radius}r", ndim=ndim, expr=expr, dtype=dtype, array=array
+    )
+
+
+def _validate(ndim: int, radius: int) -> None:
+    if ndim not in (2, 3):
+        raise ValueError("synthetic stencils are 2D or 3D")
+    if not 1 <= radius <= 8:
+        raise ValueError("radius must lie in [1, 8]")
+
+
+# ---------------------------------------------------------------------------
+# C source generation
+# ---------------------------------------------------------------------------
+
+
+def _offset_subscript(var: str, offset: int) -> str:
+    if offset == 0:
+        return var
+    sign = "+" if offset > 0 else "-"
+    return f"{var}{sign}{abs(offset)}"
+
+
+def _literal(value: float, dtype: str) -> str:
+    text = f"{value:.9g}"
+    if "." not in text and "e" not in text:
+        text += ".0"
+    return text + ("f" if dtype == "float" else "")
+
+
+def _source_for_offsets(
+    offsets: Iterable[Tuple[int, ...]], ndim: int, dtype: str, array: str
+) -> str:
+    """Emit the canonical double-buffered C loop nest for an offset set."""
+    offsets = list(offsets)
+    spatial_vars = _LOOP_VARS[:ndim]
+    total = sum(abs(_coefficient(o)) for o in offsets)
+    terms = []
+    for offset in offsets:
+        coefficient = round(_coefficient(offset) / total, 9)
+        subscripts = "".join(
+            f"[{_offset_subscript(var, component)}]" for var, component in zip(spatial_vars, offset)
+        )
+        terms.append(f"{_literal(coefficient, dtype)} * {array}[t%2]{subscripts}")
+    body = "\n        + ".join(terms)
+    lhs_subscripts = "".join(f"[{var}]" for var in spatial_vars)
+    loops = ["for (t = 0; t < I_T; t++)"]
+    for dim, var in enumerate(spatial_vars):
+        loops.append(f"{'  ' * (dim + 1)}for ({var} = 1; {var} <= I_S{ndim - dim}; {var}++)")
+    indent = "  " * (ndim + 1)
+    statement = f"{indent}{array}[(t+1)%2]{lhs_subscripts} = ({body});"
+    return "\n".join(loops + [statement]) + "\n"
+
+
+def star_stencil_source(ndim: int, radius: int, dtype: str = "float", array: str = "A") -> str:
+    """C source of a synthetic star stencil (accepted by the frontend)."""
+    _validate(ndim, radius)
+    return _source_for_offsets(star_offsets(ndim, radius), ndim, dtype, array)
+
+
+def box_stencil_source(ndim: int, radius: int, dtype: str = "float", array: str = "A") -> str:
+    """C source of a synthetic box stencil (accepted by the frontend)."""
+    _validate(ndim, radius)
+    return _source_for_offsets(box_offsets(ndim, radius), ndim, dtype, array)

@@ -1,0 +1,196 @@
+"""The paper's benchmark suite (Table 3).
+
+Every benchmark carries its C source (the exact input format AN5D accepts),
+the FLOP/cell figure reported in Table 3, and the default evaluation grid
+(16,384² for 2D and 512³ for 3D, 1,000 iterations — Section 6.1).  Patterns
+are produced by running the real frontend on the C source, so the library
+doubles as an end-to-end exercise of the parser and stencil detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from repro.frontend.stencil_detect import parse_stencil
+from repro.ir.stencil import GridSpec, StencilPattern
+from repro.stencils.generators import box_stencil_source, star_stencil_source
+
+#: Default evaluation sizes from Section 6.1.
+DEFAULT_2D_GRID = (16384, 16384)
+DEFAULT_3D_GRID = (512, 512, 512)
+DEFAULT_TIME_STEPS = 1000
+
+
+@dataclass(frozen=True)
+class BenchmarkStencil:
+    """One row of Table 3."""
+
+    name: str
+    ndim: int
+    radius: int
+    source: str
+    paper_flops_per_cell: int
+    description: str
+
+    def pattern(self, dtype: str = "float") -> StencilPattern:
+        """Parse the benchmark's C source into a stencil pattern."""
+        detected = parse_stencil(self.source, name=self.name, dtype=dtype)
+        return detected.pattern
+
+    def default_grid(self, time_steps: int = DEFAULT_TIME_STEPS) -> GridSpec:
+        interior = DEFAULT_2D_GRID if self.ndim == 2 else DEFAULT_3D_GRID
+        return GridSpec(interior, time_steps)
+
+
+# ---------------------------------------------------------------------------
+# Hand-written benchmarks (the j*, gol and gradient stencils)
+# ---------------------------------------------------------------------------
+
+_J2D5PT = """
+for (t = 0; t < I_T; t++)
+  for (i = 1; i <= I_S2; i++)
+    for (j = 1; j <= I_S1; j++)
+      A[(t+1)%2][i][j] = (5.1f * A[t%2][i-1][j]
+          + 12.1f * A[t%2][i][j-1] + 15.0f * A[t%2][i][j]
+          + 12.2f * A[t%2][i][j+1] + 5.2f * A[t%2][i+1][j]) / 118;
+"""
+
+_J2D9PT = """
+for (t = 0; t < I_T; t++)
+  for (i = 2; i <= I_S2; i++)
+    for (j = 2; j <= I_S1; j++)
+      A[(t+1)%2][i][j] = (2.1f * A[t%2][i-2][j] + 5.1f * A[t%2][i-1][j]
+          + 2.2f * A[t%2][i][j-2] + 12.1f * A[t%2][i][j-1]
+          + 15.0f * A[t%2][i][j]
+          + 12.2f * A[t%2][i][j+1] + 2.3f * A[t%2][i][j+2]
+          + 5.2f * A[t%2][i+1][j] + 2.4f * A[t%2][i+2][j]) / 118;
+"""
+
+_J2D9PT_GOL = """
+for (t = 0; t < I_T; t++)
+  for (i = 1; i <= I_S2; i++)
+    for (j = 1; j <= I_S1; j++)
+      A[(t+1)%2][i][j] = (1.1f * A[t%2][i-1][j-1] + 2.1f * A[t%2][i-1][j]
+          + 3.1f * A[t%2][i-1][j+1] + 4.1f * A[t%2][i][j-1]
+          + 5.1f * A[t%2][i][j] + 6.1f * A[t%2][i][j+1]
+          + 7.1f * A[t%2][i+1][j-1] + 8.1f * A[t%2][i+1][j]
+          + 9.1f * A[t%2][i+1][j+1]) / 118;
+"""
+
+_GRADIENT2D = """
+for (t = 0; t < I_T; t++)
+  for (i = 1; i <= I_S2; i++)
+    for (j = 1; j <= I_S1; j++)
+      A[(t+1)%2][i][j] = 0.4f * A[t%2][i][j]
+          + 1.0f / sqrtf(0.0001f
+            + (A[t%2][i][j] - A[t%2][i-1][j]) * (A[t%2][i][j] - A[t%2][i-1][j])
+            + (A[t%2][i][j] - A[t%2][i+1][j]) * (A[t%2][i][j] - A[t%2][i+1][j])
+            + (A[t%2][i][j] - A[t%2][i][j-1]) * (A[t%2][i][j] - A[t%2][i][j-1])
+            + (A[t%2][i][j] - A[t%2][i][j+1]) * (A[t%2][i][j] - A[t%2][i][j+1]));
+"""
+
+_J3D27PT = """
+for (t = 0; t < I_T; t++)
+  for (i = 1; i <= I_S3; i++)
+    for (j = 1; j <= I_S2; j++)
+      for (k = 1; k <= I_S1; k++)
+        A[(t+1)%2][i][j][k] = (0.5f * A[t%2][i-1][j-1][k-1] + 0.51f * A[t%2][i-1][j-1][k]
+            + 0.52f * A[t%2][i-1][j-1][k+1] + 0.53f * A[t%2][i-1][j][k-1]
+            + 0.54f * A[t%2][i-1][j][k] + 0.55f * A[t%2][i-1][j][k+1]
+            + 0.56f * A[t%2][i-1][j+1][k-1] + 0.57f * A[t%2][i-1][j+1][k]
+            + 0.58f * A[t%2][i-1][j+1][k+1] + 0.59f * A[t%2][i][j-1][k-1]
+            + 0.60f * A[t%2][i][j-1][k] + 0.61f * A[t%2][i][j-1][k+1]
+            + 0.62f * A[t%2][i][j][k-1] + 0.63f * A[t%2][i][j][k]
+            + 0.64f * A[t%2][i][j][k+1] + 0.65f * A[t%2][i][j+1][k-1]
+            + 0.66f * A[t%2][i][j+1][k] + 0.67f * A[t%2][i][j+1][k+1]
+            + 0.68f * A[t%2][i+1][j-1][k-1] + 0.69f * A[t%2][i+1][j-1][k]
+            + 0.70f * A[t%2][i+1][j-1][k+1] + 0.71f * A[t%2][i+1][j][k-1]
+            + 0.72f * A[t%2][i+1][j][k] + 0.73f * A[t%2][i+1][j][k+1]
+            + 0.74f * A[t%2][i+1][j+1][k-1] + 0.75f * A[t%2][i+1][j+1][k]
+            + 0.76f * A[t%2][i+1][j+1][k+1]) / 26;
+"""
+
+
+def _synthetic_benchmarks() -> List[BenchmarkStencil]:
+    benchmarks: List[BenchmarkStencil] = []
+    for ndim in (2, 3):
+        for radius in range(1, 5):
+            benchmarks.append(
+                BenchmarkStencil(
+                    name=f"star{ndim}d{radius}r",
+                    ndim=ndim,
+                    radius=radius,
+                    source=star_stencil_source(ndim, radius),
+                    paper_flops_per_cell=(8 if ndim == 2 else 12) * radius + 1,
+                    description=f"synthetic {ndim}D star stencil of order {radius}",
+                )
+            )
+            points = (2 * radius + 1) ** ndim
+            benchmarks.append(
+                BenchmarkStencil(
+                    name=f"box{ndim}d{radius}r",
+                    ndim=ndim,
+                    radius=radius,
+                    source=box_stencil_source(ndim, radius),
+                    paper_flops_per_cell=2 * points - 1,
+                    description=f"synthetic {ndim}D box stencil of order {radius}",
+                )
+            )
+    return benchmarks
+
+
+def _named_benchmarks() -> List[BenchmarkStencil]:
+    return [
+        BenchmarkStencil("j2d5pt", 2, 1, _J2D5PT, 10, "2D Jacobi 5-point (Fig. 4)"),
+        BenchmarkStencil("j2d9pt", 2, 2, _J2D9PT, 18, "2D Jacobi 9-point, 2nd-order star"),
+        BenchmarkStencil("j2d9pt-gol", 2, 1, _J2D9PT_GOL, 18, "2D 9-point box (game-of-life shape)"),
+        BenchmarkStencil("gradient2d", 2, 1, _GRADIENT2D, 19, "2D gradient with sqrt and division"),
+        BenchmarkStencil("j3d27pt", 3, 1, _J3D27PT, 54, "3D Jacobi 27-point box"),
+    ]
+
+
+def _build_registry() -> Dict[str, BenchmarkStencil]:
+    registry: Dict[str, BenchmarkStencil] = {}
+    for benchmark in _synthetic_benchmarks() + _named_benchmarks():
+        registry[benchmark.name] = benchmark
+    return registry
+
+
+BENCHMARKS: Dict[str, BenchmarkStencil] = _build_registry()
+
+#: The seven stencils shown in Fig. 6 / Fig. 7.
+FIGURE6_NAMES: Tuple[str, ...] = (
+    "j2d5pt",
+    "j2d9pt",
+    "j2d9pt-gol",
+    "gradient2d",
+    "star3d1r",
+    "star3d2r",
+    "j3d27pt",
+)
+
+
+def benchmark_names() -> List[str]:
+    """All benchmark names, synthetic stencils first (matching Table 3)."""
+    return list(BENCHMARKS)
+
+
+def get_benchmark(name: str) -> BenchmarkStencil:
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {', '.join(BENCHMARKS)}"
+        ) from None
+
+
+def figure6_benchmarks() -> List[BenchmarkStencil]:
+    return [BENCHMARKS[name] for name in FIGURE6_NAMES]
+
+
+@lru_cache(maxsize=None)
+def load_pattern(name: str, dtype: str = "float") -> StencilPattern:
+    """Parse (and cache) the pattern of a named benchmark."""
+    return get_benchmark(name).pattern(dtype)

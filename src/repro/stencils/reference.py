@@ -1,0 +1,131 @@
+"""NumPy reference execution of stencil patterns.
+
+The reference executor applies the stencil naively, one full time step at a
+time, over the whole interior.  It is the correctness oracle for the
+functional executor in :mod:`repro.sim.executor`, which runs the *blocked*
+schedule (spatial blocks, halos, streaming, temporal blocking) and must
+produce bit-compatible results up to floating-point reassociation.
+
+Boundary handling follows the benchmarks: the grid carries a ring of
+``radius`` boundary cells on every side whose values are held constant across
+time steps (they are never updated, matching the ``1 .. I_S`` loop bounds of
+the C sources).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.ir.expr import BinOp, Call, Const, Expr, GridRead, UnaryOp
+from repro.ir.stencil import GridSpec, StencilPattern
+
+_NUMPY_DTYPES = {"float": np.float32, "double": np.float64}
+
+_CALL_NUMPY: Dict[str, Callable[..., np.ndarray]] = {
+    "sqrt": np.sqrt,
+    "sqrtf": np.sqrt,
+    "fabs": np.abs,
+    "fabsf": np.abs,
+    "exp": np.exp,
+    "expf": np.exp,
+    "min": np.minimum,
+    "max": np.maximum,
+    "fmin": np.minimum,
+    "fmax": np.maximum,
+}
+
+
+def numpy_dtype(dtype: str) -> type:
+    return _NUMPY_DTYPES[dtype]
+
+
+def make_initial_grid(pattern: StencilPattern, grid: GridSpec, seed: int = 0) -> np.ndarray:
+    """A reproducible initial condition including the constant boundary ring."""
+    rng = np.random.default_rng(seed)
+    shape = grid.padded(pattern.radius)
+    data = rng.uniform(0.1, 1.0, size=shape)
+    return data.astype(numpy_dtype(pattern.dtype))
+
+
+class ReferenceExecutor:
+    """Evaluates a stencil pattern directly with NumPy array arithmetic."""
+
+    def __init__(self, pattern: StencilPattern) -> None:
+        self.pattern = pattern
+        self.radius = pattern.radius
+        self.dtype = numpy_dtype(pattern.dtype)
+
+    # -- expression evaluation ---------------------------------------------
+    def _interior_slice(self, shape: Tuple[int, ...], offset: Tuple[int, ...]) -> Tuple[slice, ...]:
+        rad = self.radius
+        return tuple(
+            slice(rad + off, dim - rad + off) for dim, off in zip(shape, offset)
+        )
+
+    def _eval(self, expr: Expr, source: np.ndarray) -> np.ndarray:
+        if isinstance(expr, Const):
+            return np.asarray(expr.value, dtype=self.dtype)
+        if isinstance(expr, GridRead):
+            return source[self._interior_slice(source.shape, expr.offset)]
+        if isinstance(expr, BinOp):
+            lhs = self._eval(expr.lhs, source)
+            rhs = self._eval(expr.rhs, source)
+            if expr.op == "+":
+                return lhs + rhs
+            if expr.op == "-":
+                return lhs - rhs
+            if expr.op == "*":
+                return lhs * rhs
+            return lhs / rhs
+        if isinstance(expr, UnaryOp):
+            return -self._eval(expr.operand, source)
+        if isinstance(expr, Call):
+            args = [self._eval(a, source) for a in expr.args]
+            return _CALL_NUMPY[expr.name](*args)
+        raise TypeError(f"unknown expression node {expr!r}")
+
+    # -- stepping -----------------------------------------------------------
+    def step(self, source: np.ndarray) -> np.ndarray:
+        """Apply one time step, returning a new array (boundary copied)."""
+        result = source.copy()
+        interior = tuple(slice(self.radius, dim - self.radius) for dim in source.shape)
+        result[interior] = self._eval(self.pattern.expr, source).astype(self.dtype)
+        return result
+
+    def run(self, initial: np.ndarray, time_steps: int) -> np.ndarray:
+        """Apply ``time_steps`` steps starting from ``initial``."""
+        current = initial.astype(self.dtype, copy=True)
+        for _ in range(time_steps):
+            current = self.step(current)
+        return current
+
+
+def run_reference(
+    pattern: StencilPattern, grid: GridSpec, initial: np.ndarray | None = None, seed: int = 0
+) -> np.ndarray:
+    """Run the reference executor over ``grid.time_steps`` steps."""
+    if initial is None:
+        initial = make_initial_grid(pattern, grid, seed)
+    return ReferenceExecutor(pattern).run(initial, grid.time_steps)
+
+
+def max_relative_error(a: np.ndarray, b: np.ndarray) -> float:
+    """Maximum relative difference between two grids (used by verify())."""
+    denom = np.maximum(np.abs(a), np.abs(b))
+    denom = np.where(denom == 0, 1.0, denom)
+    return float(np.max(np.abs(a - b) / denom))
+
+
+def allclose_for_dtype(a: np.ndarray, b: np.ndarray, dtype: str) -> bool:
+    """Floating-point comparison with a tolerance appropriate for the dtype.
+
+    Temporal blocking re-associates sums, so results differ from the
+    reference by accumulated rounding; the tolerance scales with the number
+    of accumulated operations rather than demanding bit equality.
+    """
+    rtol = 1e-4 if dtype == "float" else 1e-9
+    atol = 1e-5 if dtype == "float" else 1e-11
+    return bool(np.allclose(a, b, rtol=rtol, atol=atol))

@@ -1,0 +1,160 @@
+"""The two-stage autotuner (Section 6.3).
+
+Stage 1 ranks every surviving configuration with the analytic model (this is
+the part the paper describes as "searched in a few seconds").  Stage 2 takes
+the top ``k`` (5 in the paper) candidates, tries each with the candidate
+register limits, "runs" them on the timing simulator — the stand-in for the
+actual GPU measurements — and returns the configuration with the best
+simulated performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence
+
+from repro.core.config import BlockingConfig
+from repro.ir.stencil import GridSpec, StencilPattern
+from repro.model.gpu_specs import GpuSpec, get_gpu
+from repro.model.roofline import PerformancePrediction, predict_performance
+from repro.sim.timing import SimulatedMeasurement, TimingSimulator
+from repro.tuning.pruning import prune_configurations
+from repro.tuning.search_space import REGISTER_LIMITS, SearchSpace, default_search_space
+
+
+@dataclass(frozen=True)
+class TuningCandidate:
+    """One configuration with its model prediction and simulated measurement."""
+
+    config: BlockingConfig
+    predicted: PerformancePrediction
+    measured: Optional[SimulatedMeasurement] = None
+
+    @property
+    def predicted_gflops(self) -> float:
+        return self.predicted.gflops
+
+    @property
+    def measured_gflops(self) -> float:
+        return self.measured.gflops if self.measured is not None else 0.0
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of tuning one stencil for one GPU and data type."""
+
+    pattern_name: str
+    gpu_name: str
+    dtype: str
+    best: TuningCandidate
+    top_candidates: List[TuningCandidate]
+    explored: int
+    pruned_to: int
+
+    @property
+    def best_config(self) -> BlockingConfig:
+        return self.best.config
+
+    @property
+    def model_accuracy(self) -> float:
+        """Measured-to-predicted ratio (the paper's model accuracy metric)."""
+        if self.best.predicted_gflops == 0:
+            return 0.0
+        return self.best.measured_gflops / self.best.predicted_gflops
+
+    def as_row(self) -> dict[str, object]:
+        config = self.best_config
+        return {
+            "pattern": self.pattern_name,
+            "gpu": self.gpu_name,
+            "dtype": self.dtype,
+            "bT": config.bT,
+            "bS": "x".join(str(v) for v in config.bS),
+            "hS": config.hS if config.hS is not None else "-",
+            "regs": config.register_limit if config.register_limit is not None else "-",
+            "tuned_gflops": round(self.best.measured_gflops, 1),
+            "model_gflops": round(self.best.predicted_gflops, 1),
+        }
+
+
+class AutoTuner:
+    """Model-guided tuner for one device."""
+
+    def __init__(self, gpu: GpuSpec | str, top_k: int = 5) -> None:
+        self.gpu = get_gpu(gpu) if isinstance(gpu, str) else gpu
+        self.top_k = top_k
+        self.simulator = TimingSimulator(self.gpu)
+
+    # -- stage 1: model ranking -------------------------------------------------
+    def rank(
+        self,
+        pattern: StencilPattern,
+        grid: GridSpec,
+        space: SearchSpace | None = None,
+    ) -> List[TuningCandidate]:
+        """Rank all pruned configurations by predicted performance."""
+        space = space or default_search_space(pattern)
+        configurations = prune_configurations(pattern, space.configurations(), self.gpu)
+        candidates = [
+            TuningCandidate(config, predict_performance(pattern, grid, config, self.gpu))
+            for config in configurations
+        ]
+        candidates.sort(key=lambda c: c.predicted_gflops, reverse=True)
+        return candidates
+
+    # -- stage 2: simulated measurement -----------------------------------------
+    def _measure_with_register_limits(
+        self,
+        pattern: StencilPattern,
+        grid: GridSpec,
+        candidate: TuningCandidate,
+        register_limits: Sequence[Optional[int]],
+    ) -> TuningCandidate:
+        best: Optional[TuningCandidate] = None
+        for limit in register_limits:
+            config = candidate.config.with_register_limit(limit)
+            measured = self.simulator.simulate(pattern, grid, config)
+            scored = TuningCandidate(config, candidate.predicted, measured)
+            if best is None or scored.measured_gflops > best.measured_gflops:
+                best = scored
+        assert best is not None
+        return best
+
+    def tune(
+        self,
+        pattern: StencilPattern,
+        grid: GridSpec,
+        space: SearchSpace | None = None,
+        register_limits: Sequence[Optional[int]] = REGISTER_LIMITS,
+    ) -> TuningResult:
+        """Full tuning: prune, rank, simulate the top candidates, pick the best."""
+        space = space or default_search_space(pattern)
+        ranked = self.rank(pattern, grid, space)
+        if not ranked:
+            raise ValueError(
+                f"no valid configuration for stencil {pattern.name!r} on {self.gpu.name}"
+            )
+        finalists = [
+            self._measure_with_register_limits(pattern, grid, candidate, register_limits)
+            for candidate in ranked[: self.top_k]
+        ]
+        best = max(finalists, key=lambda c: c.measured_gflops)
+        return TuningResult(
+            pattern_name=pattern.name,
+            gpu_name=self.gpu.name,
+            dtype=pattern.dtype,
+            best=best,
+            top_candidates=finalists,
+            explored=space.size(),
+            pruned_to=len(ranked),
+        )
+
+
+def tune(
+    pattern: StencilPattern,
+    grid: GridSpec,
+    gpu: GpuSpec | str,
+    top_k: int = 5,
+) -> TuningResult:
+    """Convenience wrapper: tune ``pattern`` for ``gpu`` over ``grid``."""
+    return AutoTuner(gpu, top_k).tune(pattern, grid)

@@ -1,0 +1,62 @@
+"""Search-space pruning (Section 6.3).
+
+Two families of configurations are discarded before the model ever runs:
+
+* configurations that are structurally invalid for the stencil — the spatial
+  block leaves no compute region after subtracting the ``2 * bT * rad`` halo,
+  or the thread block exceeds 1024 threads, and
+* configurations whose estimated register demand (``bT*(2*rad+1) + bT + 20``
+  for float, ``2*bT*(2*rad+1) + bT + 30`` for double) exceeds the 255
+  registers-per-thread or 64K registers-per-SM hardware limits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.core.config import BlockingConfig
+from repro.ir.stencil import StencilPattern
+from repro.model.gpu_specs import GpuSpec
+from repro.model.registers import register_pressure_ok
+
+
+def prune_configurations(
+    pattern: StencilPattern,
+    configurations: Iterable[BlockingConfig],
+    gpu: GpuSpec,
+) -> List[BlockingConfig]:
+    """Return the configurations that survive validity and register pruning."""
+    survivors: List[BlockingConfig] = []
+    for config in configurations:
+        if not config.is_valid(pattern):
+            continue
+        if not register_pressure_ok(pattern, config, gpu):
+            continue
+        survivors.append(config)
+    return survivors
+
+
+def pruning_statistics(
+    pattern: StencilPattern,
+    configurations: Iterable[BlockingConfig],
+    gpu: GpuSpec,
+) -> dict[str, int]:
+    """How many configurations each pruning rule removes (for reporting)."""
+    total = 0
+    invalid = 0
+    register_bound = 0
+    kept = 0
+    for config in configurations:
+        total += 1
+        if not config.is_valid(pattern):
+            invalid += 1
+        elif not register_pressure_ok(pattern, config, gpu):
+            register_bound += 1
+        else:
+            kept += 1
+    return {
+        "total": total,
+        "invalid": invalid,
+        "register_pruned": register_bound,
+        "kept": kept,
+    }

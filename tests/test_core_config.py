@@ -1,0 +1,108 @@
+"""Tests for BlockingConfig validation and derived quantities."""
+
+import pytest
+
+from repro.core.config import BlockingConfig, ConfigurationError, sconf_configuration
+
+
+def test_nthr_is_product_of_block_sizes():
+    assert BlockingConfig(bT=4, bS=(256,)).nthr == 256
+    assert BlockingConfig(bT=4, bS=(32, 16)).nthr == 512
+
+
+def test_halo_and_compute_region():
+    config = BlockingConfig(bT=4, bS=(128,))
+    assert config.halo_per_side(1) == 4
+    assert config.compute_region(1) == (120,)
+    assert config.compute_region(2) == (112,)
+
+
+def test_invalid_bt_rejected():
+    with pytest.raises(ConfigurationError):
+        BlockingConfig(bT=0, bS=(128,))
+
+
+def test_empty_bs_rejected():
+    with pytest.raises(ConfigurationError):
+        BlockingConfig(bT=1, bS=())
+
+
+def test_nonpositive_bs_rejected():
+    with pytest.raises(ConfigurationError):
+        BlockingConfig(bT=1, bS=(0,))
+
+
+def test_bad_hs_rejected():
+    with pytest.raises(ConfigurationError):
+        BlockingConfig(bT=1, bS=(32,), hS=0)
+
+
+def test_register_limit_range_checked():
+    with pytest.raises(ConfigurationError):
+        BlockingConfig(bT=1, bS=(32,), register_limit=8)
+    with pytest.raises(ConfigurationError):
+        BlockingConfig(bT=1, bS=(32,), register_limit=300)
+    assert BlockingConfig(bT=1, bS=(32,), register_limit=64).register_limit == 64
+
+
+def test_validate_dimensionality(j2d5pt, star3d1r):
+    BlockingConfig(bT=2, bS=(64,)).validate(j2d5pt)
+    with pytest.raises(ConfigurationError):
+        BlockingConfig(bT=2, bS=(64, 64)).validate(j2d5pt)
+    with pytest.raises(ConfigurationError):
+        BlockingConfig(bT=2, bS=(64,)).validate(star3d1r)
+
+
+def test_validate_thread_block_limit(star3d1r):
+    with pytest.raises(ConfigurationError):
+        BlockingConfig(bT=1, bS=(64, 64)).validate(star3d1r)
+
+
+def test_validate_compute_region_must_be_positive(j2d9pt):
+    # radius 2, bT=8 -> halo 16 per side needs bS > 32.
+    with pytest.raises(ConfigurationError):
+        BlockingConfig(bT=8, bS=(32,)).validate(j2d9pt)
+    BlockingConfig(bT=8, bS=(64,)).validate(j2d9pt)
+
+
+def test_is_valid_mirrors_validate(j2d5pt):
+    assert BlockingConfig(bT=4, bS=(64,)).is_valid(j2d5pt)
+    assert not BlockingConfig(bT=40, bS=(64,)).is_valid(j2d5pt)
+
+
+def test_with_register_limit_and_with_bt_are_pure():
+    base = BlockingConfig(bT=4, bS=(128,))
+    assert base.with_register_limit(64).register_limit == 64
+    assert base.register_limit is None
+    assert base.with_bT(8).bT == 8
+    assert base.bT == 4
+
+
+def test_star_optimization_selection(j2d5pt, box2d1r):
+    auto = BlockingConfig(bT=2, bS=(64,))
+    assert auto.use_star_optimization(j2d5pt)
+    assert not auto.use_star_optimization(box2d1r)
+    forced_off = BlockingConfig(bT=2, bS=(64,), star_opt=False)
+    assert not forced_off.use_star_optimization(j2d5pt)
+
+
+def test_associative_optimization_selection(j2d5pt, box2d1r, gradient2d):
+    auto = BlockingConfig(bT=2, bS=(64,))
+    # star stencils prefer the diagonal-access-free path.
+    assert not auto.use_associative_optimization(j2d5pt)
+    assert auto.use_associative_optimization(box2d1r)
+    assert not auto.use_associative_optimization(gradient2d)
+    forced = BlockingConfig(bT=2, bS=(64,), associative_opt=True)
+    assert forced.use_associative_optimization(gradient2d)
+
+
+def test_describe_mentions_parameters():
+    text = BlockingConfig(bT=4, bS=(32, 16), hS=128, register_limit=64).describe()
+    assert "bT=4" in text and "32x16" in text and "hS=128" in text and "regs=64" in text
+
+
+def test_sconf_configuration_shapes(j2d5pt, star3d1r):
+    conf2d = sconf_configuration(j2d5pt)
+    assert conf2d.bT == 4 and len(conf2d.bS) == 1
+    conf3d = sconf_configuration(star3d1r)
+    assert conf3d.bT == 4 and conf3d.bS == (32, 32) and conf3d.hS is None

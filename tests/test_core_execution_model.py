@@ -1,0 +1,143 @@
+"""Tests for the N.5D execution model (Section 4.1 geometry)."""
+
+import math
+
+import pytest
+
+from repro.core.config import BlockingConfig, ConfigurationError
+from repro.core.execution_model import ExecutionModel, ThreadCategory
+from repro.ir.stencil import GridSpec
+
+
+def make_model(pattern, interior, bT=4, bS=(64,), hS=None, time_steps=100):
+    config = BlockingConfig(bT=bT, bS=bS, hS=hS)
+    return ExecutionModel(pattern, GridSpec(interior, time_steps), config)
+
+
+def test_paper_ntb_formula(j2d5pt):
+    # ntb = prod(ceil(IS_i / (bS_i - 2*bT*rad)))
+    model = make_model(j2d5pt, (512, 512), bT=4, bS=(64,))
+    assert model.ntb == math.ceil(512 / (64 - 8))
+    model3 = make_model(j2d5pt, (512, 500), bT=4, bS=(64,))
+    assert model3.ntb == math.ceil(500 / 56)
+
+
+def test_ntb_for_3d(star3d1r):
+    model = make_model(star3d1r, (128, 96, 96), bT=2, bS=(32, 32))
+    per_dim = model.blocks_per_dimension()
+    assert per_dim == (math.ceil(96 / 28), math.ceil(96 / 28))
+    assert model.ntb == per_dim[0] * per_dim[1]
+
+
+def test_stream_division_block_count(j2d5pt):
+    model = make_model(j2d5pt, (512, 512), bT=4, bS=(64,), hS=128)
+    assert model.num_stream_blocks == 4
+    assert model.total_thread_blocks == 4 * model.ntb
+
+
+def test_stream_overlap_formula(j2d5pt, j2d9pt):
+    # 2 * sum_{T=0}^{bT-1} rad*(bT-T)
+    model = make_model(j2d5pt, (512, 512), bT=4, bS=(64,), hS=128)
+    assert model.stream_overlap_subplanes() == 2 * (4 + 3 + 2 + 1)
+    model2 = make_model(j2d9pt, (512, 512), bT=2, bS=(64,), hS=128)
+    assert model2.stream_overlap_subplanes() == 2 * 2 * (2 + 1)
+
+
+def test_total_streamed_subplanes_without_division(j2d5pt):
+    model = make_model(j2d5pt, (512, 512), bT=4, bS=(64,), hS=None)
+    assert model.total_streamed_subplanes() == 512 + 2
+
+
+def test_total_streamed_subplanes_with_division(j2d5pt):
+    model = make_model(j2d5pt, (512, 512), bT=4, bS=(64,), hS=128)
+    assert model.total_streamed_subplanes() == 512 + 2 + 3 * model.stream_overlap_subplanes()
+
+
+def test_subplanes_per_stream_block(j2d5pt):
+    undivided = make_model(j2d5pt, (512, 512), bT=4, bS=(64,), hS=None)
+    assert undivided.subplanes_per_stream_block() == 512 + 2
+    divided = make_model(j2d5pt, (512, 512), bT=4, bS=(64,), hS=128)
+    assert divided.subplanes_per_stream_block() == 128 + 2 + divided.stream_overlap_subplanes()
+
+
+def test_valid_region_shrinks_with_time_step(j2d5pt):
+    model = make_model(j2d5pt, (512, 512), bT=4, bS=(64,))
+    assert model.valid_region_at_step(0) == (64,)
+    assert model.valid_region_at_step(1) == (62,)
+    assert model.valid_region_at_step(4) == (56,)
+    with pytest.raises(ValueError):
+        model.valid_region_at_step(5)
+
+
+def test_category_counts_cover_all_positions(j2d5pt):
+    model = make_model(j2d5pt, (512, 512), bT=4, bS=(64,))
+    counts = model.thread_category_counts()
+    total = sum(counts.values())
+    assert total == model.ntb * model.nthr
+
+
+def test_valid_threads_cover_grid_exactly(j2d5pt, star3d1r):
+    model = make_model(j2d5pt, (500, 500), bT=4, bS=(64,))
+    counts = model.thread_category_counts()
+    assert counts[ThreadCategory.VALID] == 500
+
+    model3 = make_model(star3d1r, (64, 60, 60), bT=2, bS=(32, 32))
+    counts3 = model3.thread_category_counts()
+    assert counts3[ThreadCategory.VALID] == 60 * 60
+
+
+def test_boundary_threads_present_for_edge_blocks(j2d5pt):
+    model = make_model(j2d5pt, (512, 512), bT=4, bS=(64,))
+    counts = model.thread_category_counts()
+    assert counts[ThreadCategory.BOUNDARY] >= 2
+
+
+def test_redundant_fraction_grows_with_bt(j2d5pt):
+    low = make_model(j2d5pt, (512, 512), bT=1, bS=(64,)).redundant_compute_fraction()
+    high = make_model(j2d5pt, (512, 512), bT=8, bS=(64,)).redundant_compute_fraction()
+    assert high > low
+
+
+def test_redundant_fraction_shrinks_with_block_size(j2d5pt):
+    small = make_model(j2d5pt, (4096, 4096), bT=4, bS=(64,)).redundant_compute_fraction()
+    large = make_model(j2d5pt, (4096, 4096), bT=4, bS=(512,)).redundant_compute_fraction()
+    assert large < small
+
+
+def test_blocks_enumeration_matches_ntb(j2d5pt, star3d1r):
+    model = make_model(j2d5pt, (300, 300), bT=2, bS=(64,))
+    blocks = model.blocks()
+    assert len(blocks) == model.ntb
+    # Compute regions tile the grid without gaps.
+    covered = sum(b.compute_size[0] for b in blocks)
+    assert covered == 300
+
+    model3 = make_model(star3d1r, (32, 70, 70), bT=2, bS=(32, 32))
+    assert len(model3.blocks()) == model3.ntb
+
+
+def test_block_geometry_origins(j2d5pt):
+    model = make_model(j2d5pt, (300, 300), bT=2, bS=(64,))
+    first = model.blocks()[0]
+    assert first.origin == (0,)
+    assert first.load_origin == (-2,)
+    assert first.block_size == (64,)
+
+
+def test_stream_ranges_cover_extent(j2d5pt):
+    model = make_model(j2d5pt, (500, 500), bT=4, bS=(64,), hS=128)
+    ranges = model.stream_ranges()
+    assert ranges[0] == (0, 128)
+    assert ranges[-1][1] == 500
+    assert sum(stop - start for start, stop in ranges) == 500
+
+
+def test_grid_dimension_mismatch_rejected(j2d5pt):
+    with pytest.raises(ConfigurationError):
+        ExecutionModel(j2d5pt, GridSpec((64, 64, 64), 10), BlockingConfig(bT=2, bS=(32,)))
+
+
+def test_summary_contains_key_fields(j2d5pt):
+    summary = make_model(j2d5pt, (512, 512), bT=4, bS=(64,)).summary()
+    for key in ("nthr", "ntb", "halo_per_side", "redundant_fraction", "threads_valid"):
+        assert key in summary

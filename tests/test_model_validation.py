@@ -1,0 +1,64 @@
+"""Tests for the model-accuracy reporting of Section 7.2."""
+
+import pytest
+
+from repro.ir.stencil import GridSpec
+from repro.model.validation import AccuracyEntry, AccuracyReport, accuracy_report
+
+GRID_2D = GridSpec((8192, 8192), 120)
+GRID_3D = GridSpec((512, 512, 512), 120)
+SAMPLE = ("j2d5pt", "star2d1r", "box2d1r", "star3d1r")
+
+
+@pytest.fixture(scope="module")
+def v100_report():
+    return accuracy_report("V100", "float", SAMPLE, grid_2d=GRID_2D, grid_3d=GRID_3D)
+
+
+def test_report_contains_all_requested_stencils(v100_report):
+    assert [entry.stencil for entry in v100_report.entries] == list(SAMPLE)
+    assert v100_report.gpu.startswith("Tesla V100")
+
+
+def test_accuracy_values_in_unit_interval(v100_report):
+    for entry in v100_report.entries:
+        assert 0.0 < entry.accuracy <= 1.0
+
+
+def test_mean_between_min_and_max(v100_report):
+    assert v100_report.min_accuracy <= v100_report.mean_accuracy <= v100_report.max_accuracy
+
+
+def test_v100_mean_accuracy_in_paper_ballpark(v100_report):
+    # Paper: 67 % average on V100 (float + double, all stencils); the float
+    # subset here lands in a generous band around that.
+    assert 0.4 <= v100_report.mean_accuracy <= 0.95
+
+
+def test_p100_accuracy_lower_than_v100(v100_report):
+    p100 = accuracy_report("P100", "float", SAMPLE, grid_2d=GRID_2D, grid_3d=GRID_3D)
+    assert p100.mean_accuracy < v100_report.mean_accuracy
+
+
+def test_division_exclusion_for_double_precision():
+    report = accuracy_report(
+        "V100", "double", ("j2d5pt", "star2d1r"), grid_2d=GRID_2D, grid_3d=GRID_3D
+    )
+    # Excluding the division stencil must not lower the average (Section 7.2).
+    assert report.mean_accuracy_excluding_division >= report.mean_accuracy
+
+
+def test_summary_mentions_device_and_percentages(v100_report):
+    text = v100_report.summary()
+    assert "Tesla V100" in text and "%" in text
+
+
+def test_empty_report_statistics():
+    empty = AccuracyReport("X", "float", [])
+    assert empty.mean_accuracy == 0.0
+    assert empty.min_accuracy == 0.0 and empty.max_accuracy == 0.0
+
+
+def test_accuracy_entry_zero_model_guard():
+    entry = AccuracyEntry("x", "float", 10.0, 0.0, False)
+    assert entry.accuracy == 0.0

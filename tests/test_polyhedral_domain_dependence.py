@@ -1,0 +1,160 @@
+"""Tests for iteration domains, dependence analysis and schedules."""
+
+import pytest
+
+from repro.ir.stencil import GridSpec
+from repro.polyhedral.dependence import (
+    dependence_cone_volume,
+    flow_dependences,
+    max_negative_reach,
+    required_halo,
+    tiling_is_legal,
+)
+from repro.polyhedral.domain import block_domain, stencil_iteration_domain
+from repro.polyhedral.schedule import (
+    Band,
+    an5d_schedule,
+    initial_schedule,
+    loop_tiling_schedule,
+    tile_band,
+)
+from repro.stencils.generators import box_stencil, star_stencil
+
+
+# -- iteration domains ---------------------------------------------------------
+
+
+def test_domain_extents(j2d5pt):
+    grid = GridSpec((64, 48), 10)
+    domain = stencil_iteration_domain(j2d5pt, grid)
+    assert domain.ndim == 2
+    assert domain.spatial_extent(0) == 64
+    assert domain.spatial_extent(1) == 48
+    assert domain.time_extent() == 10
+    assert domain.total_updates() == 64 * 48 * 10
+
+
+def test_domain_dimension_mismatch_rejected(j2d5pt):
+    with pytest.raises(ValueError):
+        stencil_iteration_domain(j2d5pt, GridSpec((8, 8, 8), 2))
+
+
+def test_domain_restrict_time(j2d5pt):
+    domain = stencil_iteration_domain(j2d5pt, GridSpec((16, 16), 10))
+    restricted = domain.restrict_time(2, 6)
+    assert restricted.time_extent() == 4
+    assert restricted.cells_per_time_step() == 256
+
+
+def test_block_domain_clips_to_grid(j2d5pt):
+    grid = GridSpec((10, 10), 1)
+    block = block_domain(j2d5pt, grid, (8, 8), (4, 4))
+    # Only the 2x2 corner survives clipping.
+    assert block.count() == 4
+
+
+# -- dependences ------------------------------------------------------------------
+
+
+def test_flow_dependences_negate_offsets(j2d5pt):
+    deps = {d.space for d in flow_dependences(j2d5pt)}
+    assert (1, 0) in deps and (-1, 0) in deps and (0, 0) in deps
+    assert all(d.time == 1 for d in flow_dependences(j2d5pt))
+
+
+def test_dependences_are_lexicographically_positive(box2d1r, star3d1r):
+    for pattern in (box2d1r, star3d1r):
+        assert all(d.is_lexicographically_positive for d in flow_dependences(pattern))
+
+
+def test_max_negative_reach_equals_radius(j2d9pt, star3d1r):
+    assert max_negative_reach(j2d9pt) == (2, 2)
+    assert max_negative_reach(star3d1r) == (1, 1, 1)
+
+
+@pytest.mark.parametrize("bT", [1, 2, 4, 10])
+def test_required_halo_scales_linearly(bT, j2d5pt):
+    assert required_halo(j2d5pt, bT) == (bT, bT)
+
+
+def test_required_halo_rejects_zero_time_block(j2d5pt):
+    with pytest.raises(ValueError):
+        required_halo(j2d5pt, 0)
+
+
+def test_tiling_legality_requires_compute_region(j2d5pt):
+    assert tiling_is_legal(j2d5pt, 4, (32,), blocked_dims=(1,))
+    assert not tiling_is_legal(j2d5pt, 16, (32,), blocked_dims=(1,))
+
+
+def test_tiling_legality_dimension_mismatch(j2d5pt):
+    with pytest.raises(ValueError):
+        tiling_is_legal(j2d5pt, 2, (32, 32), blocked_dims=(0,))
+
+
+def test_dependence_cone_volume_box_vs_star():
+    star = star_stencil(2, 1)
+    box = box_stencil(2, 1)
+    assert dependence_cone_volume(star, 2) == dependence_cone_volume(box, 2) == 25
+
+
+# -- schedules -------------------------------------------------------------------------
+
+
+def test_initial_schedule_loop_order():
+    tree = initial_schedule("t", ("i", "j"))
+    assert tree.loop_order == ("t", "i", "j")
+
+
+def test_tile_band_validates_sizes():
+    band = Band(("i", "j"))
+    with pytest.raises(ValueError):
+        tile_band(band, (0, 4))
+    tiled = tile_band(band, (8, 8), overlapped=True)
+    assert tiled.is_tiled and tiled.overlapped
+
+
+def test_band_tile_size_arity_checked():
+    with pytest.raises(ValueError):
+        Band(("i",), tile_sizes=(4, 4))
+
+
+def test_band_streamed_member_must_belong():
+    with pytest.raises(ValueError):
+        Band(("i",), streamed_member="j")
+
+
+def test_an5d_schedule_marks_streaming_dimension():
+    tree = an5d_schedule("t", ("k", "i", "j"), time_block=4, spatial_blocks=(32, 32), stream_block=128)
+    time_band, space_band = tree.bands
+    assert time_band.tile_sizes == (4,)
+    assert space_band.streamed_member == "k"
+    assert space_band.overlapped
+
+
+def test_an5d_schedule_without_stream_division():
+    tree = an5d_schedule("t", ("i", "j"), time_block=4, spatial_blocks=(128,), stream_block=None)
+    assert tree.bands[1].tile_sizes == (0, 128)
+
+
+def test_an5d_schedule_arity_check():
+    with pytest.raises(ValueError):
+        an5d_schedule("t", ("i", "j"), 4, (32, 32), 128)
+
+
+def test_loop_tiling_schedule_not_overlapped():
+    tree = loop_tiling_schedule("t", ("i", "j"), (32, 32))
+    assert not tree.bands[1].overlapped
+    assert tree.bands[1].tile_sizes == (32, 32)
+
+
+def test_loop_tiling_schedule_arity_check():
+    with pytest.raises(ValueError):
+        loop_tiling_schedule("t", ("i", "j"), (32,))
+
+
+def test_replace_band():
+    tree = initial_schedule("t", ("i",))
+    new_tree = tree.replace_band(0, tile_band(tree.bands[0], (4,)))
+    assert new_tree.bands[0].tile_sizes == (4,)
+    assert tree.bands[0].tile_sizes is None

@@ -1,0 +1,194 @@
+"""Tests for the integer-set library (LinExpr, Constraint, IntegerSet)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.polyhedral.linexpr import LinExpr, sum_exprs
+from repro.polyhedral.sets import Constraint, IntegerSet
+
+
+# -- LinExpr -----------------------------------------------------------------
+
+
+def test_linexpr_drops_zero_coefficients():
+    expr = LinExpr({"x": 0, "y": 2})
+    assert expr.variables == frozenset({"y"})
+
+
+def test_linexpr_arithmetic():
+    x, y = LinExpr.var("x"), LinExpr.var("y")
+    expr = 2 * x + y - 3
+    assert expr.coefficient("x") == 2
+    assert expr.coefficient("y") == 1
+    assert expr.const == -3
+
+
+def test_linexpr_evaluate():
+    expr = LinExpr.var("x", 2) + LinExpr.constant(1)
+    assert expr.evaluate({"x": 5}) == 11
+
+
+def test_linexpr_evaluate_missing_variable_raises():
+    with pytest.raises(KeyError):
+        LinExpr.var("x").evaluate({})
+
+
+def test_linexpr_substitute():
+    expr = LinExpr.var("x", 2) + LinExpr.var("y")
+    replaced = expr.substitute("x", LinExpr.var("z") + 1)
+    assert replaced.coefficient("z") == 2
+    assert replaced.const == 2
+    assert "x" not in replaced.variables
+
+
+def test_linexpr_rename():
+    expr = LinExpr.var("x") + LinExpr.var("y")
+    renamed = expr.rename({"x": "a"})
+    assert renamed.variables == frozenset({"a", "y"})
+
+
+def test_linexpr_negation_and_rsub():
+    x = LinExpr.var("x")
+    assert (-x).coefficient("x") == -1
+    assert (3 - x).const == 3
+
+
+def test_sum_exprs():
+    total = sum_exprs([LinExpr.var("x"), LinExpr.var("x"), LinExpr.constant(2)])
+    assert total.coefficient("x") == 2 and total.const == 2
+
+
+# -- Constraints -------------------------------------------------------------
+
+
+def test_constraint_satisfaction():
+    c = Constraint.ge(LinExpr.var("x"), LinExpr.constant(3))
+    assert c.satisfied({"x": 3})
+    assert c.satisfied({"x": 10})
+    assert not c.satisfied({"x": 2})
+
+
+def test_constraint_le_and_eq():
+    le = Constraint.le(LinExpr.var("x"), 5)
+    eq = Constraint.eq(LinExpr.var("x"), 5)
+    assert le.satisfied({"x": 5}) and le.satisfied({"x": 0})
+    assert eq.satisfied({"x": 5}) and not eq.satisfied({"x": 4})
+
+
+# -- IntegerSet ---------------------------------------------------------------
+
+
+def test_box_membership_and_count():
+    box = IntegerSet.box({"x": (0, 3), "y": (1, 2)})
+    assert box.contains({"x": 0, "y": 1})
+    assert not box.contains({"x": 4, "y": 1})
+    assert box.count() == 4 * 2
+
+
+def test_set_rejects_duplicate_variables():
+    with pytest.raises(ValueError):
+        IntegerSet(("x", "x"))
+
+
+def test_set_rejects_unknown_constraint_variables():
+    with pytest.raises(ValueError):
+        IntegerSet(("x",), [Constraint.ge(LinExpr.var("y"))])
+
+
+def test_intersection_counts():
+    a = IntegerSet.box({"x": (0, 10)})
+    b = IntegerSet.box({"x": (5, 20)})
+    assert a.intersect(b).count() == 6
+
+
+def test_intersection_requires_same_space():
+    a = IntegerSet.box({"x": (0, 1)})
+    b = IntegerSet.box({"y": (0, 1)})
+    with pytest.raises(ValueError):
+        a.intersect(b)
+
+
+def test_emptiness_of_contradictory_constraints():
+    x = LinExpr.var("x")
+    empty = IntegerSet(("x",), [Constraint.ge(x, 5), Constraint.le(x, 3)])
+    assert empty.is_empty()
+    assert empty.count() == 0
+
+
+def test_nonempty_diagonal_constraint():
+    x, y = LinExpr.var("x"), LinExpr.var("y")
+    diag = IntegerSet.box({"x": (0, 4), "y": (0, 4)}).with_constraint(Constraint.ge(x - y))
+    assert not diag.is_empty()
+    assert diag.count() == 15  # lower triangle including the diagonal
+
+
+def test_project_out_removes_variable():
+    x, y = LinExpr.var("x"), LinExpr.var("y")
+    s = IntegerSet.box({"x": (0, 4), "y": (0, 4)}).with_constraint(Constraint.ge(y - x))
+    projected = s.project_out("y")
+    assert projected.variables == ("x",)
+    assert projected.integer_bounds("x") == (0, 4)
+
+
+def test_project_out_tightens_bounds():
+    # x <= y and y <= 2 implies x <= 2 after eliminating y.
+    x, y = LinExpr.var("x"), LinExpr.var("y")
+    s = IntegerSet(
+        ("x", "y"),
+        [
+            Constraint.ge(x),
+            Constraint.ge(y - x),
+            Constraint.le(y, 2),
+        ],
+    )
+    projected = s.project_out("y")
+    assert projected.integer_bounds("x") == (0, 2)
+
+
+def test_project_out_unknown_variable_raises():
+    with pytest.raises(ValueError):
+        IntegerSet.box({"x": (0, 1)}).project_out("z")
+
+
+def test_bounds_of_constrained_variable():
+    x, y = LinExpr.var("x"), LinExpr.var("y")
+    s = IntegerSet.box({"x": (0, 9), "y": (0, 9)}).with_constraint(Constraint.le(x + y, 9))
+    low, high = s.bounds("x")
+    assert low == 0 and high == 9
+
+
+def test_integer_bounds_of_unbounded_variable_raises():
+    s = IntegerSet(("x",), [Constraint.ge(LinExpr.var("x"))])
+    with pytest.raises(ValueError):
+        s.integer_bounds("x")
+
+
+def test_points_enumeration_filters_non_members():
+    x, y = LinExpr.var("x"), LinExpr.var("y")
+    s = IntegerSet.box({"x": (0, 2), "y": (0, 2)}).with_constraint(Constraint.eq(x - y))
+    assert sorted(s.points()) == [(0, 0), (1, 1), (2, 2)]
+
+
+def test_points_enumeration_limit():
+    s = IntegerSet.box({"x": (0, 1000), "y": (0, 1000)})
+    with pytest.raises(ValueError):
+        list(s.points(limit=100))
+
+
+def test_count_non_box_set():
+    x, y = LinExpr.var("x"), LinExpr.var("y")
+    s = IntegerSet.box({"x": (0, 3), "y": (0, 3)}).with_constraint(Constraint.le(x + y, 3))
+    assert s.count() == 10
+
+
+def test_rename_set():
+    s = IntegerSet.box({"x": (0, 3)}).rename({"x": "i"})
+    assert s.variables == ("i",)
+    assert s.count() == 4
+
+
+def test_equality_constraint_emptiness():
+    x = LinExpr.var("x")
+    s = IntegerSet(("x",), [Constraint.eq(x, 2), Constraint.eq(x, 3)])
+    assert s.is_empty()

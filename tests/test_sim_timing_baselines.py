@@ -1,0 +1,220 @@
+"""Tests for the timing simulator and the baseline framework models."""
+
+import math
+
+import pytest
+
+from repro.baselines import HybridTilingBaseline, LoopTilingBaseline, StencilGenBaseline
+from repro.core.config import BlockingConfig, sconf_configuration
+from repro.ir.stencil import GridSpec
+from repro.sim.device import SimulatedGPU
+from repro.sim.memory import (
+    kernel_launch_overhead_seconds,
+    sustained_global_bandwidth,
+    sustained_shared_bandwidth,
+    synchronization_cost_seconds,
+)
+from repro.sim.timing import TimingSimulator, simulate_performance
+from repro.stencils.library import load_pattern
+
+
+# -- memory curves ---------------------------------------------------------------
+
+
+def test_sustained_bandwidth_zero_at_zero_occupancy(v100):
+    assert sustained_global_bandwidth(v100, "float", 0.0) == 0.0
+    assert sustained_shared_bandwidth(v100, "float", 0.0) == 0.0
+
+
+def test_sustained_bandwidth_saturates(v100):
+    assert sustained_global_bandwidth(v100, "float", 1.0) == pytest.approx(791.0)
+    assert sustained_shared_bandwidth(v100, "float", 1.0) <= 10650.0
+
+
+def test_sustained_bandwidth_monotone_in_occupancy(v100):
+    values = [sustained_shared_bandwidth(v100, "float", occ) for occ in (0.1, 0.3, 0.6, 1.0)]
+    assert values == sorted(values)
+
+
+def test_shared_efficiency_applied(v100, p100):
+    full_v = sustained_shared_bandwidth(v100, "float", 1.0)
+    full_p = sustained_shared_bandwidth(p100, "float", 1.0)
+    assert full_v / v100.measured_smembw("float") > full_p / p100.measured_smembw("float")
+
+
+def test_overhead_helpers():
+    assert kernel_launch_overhead_seconds(100) == pytest.approx(5e-4)
+    assert synchronization_cost_seconds(SimulatedGPU.from_name("V100").spec, 10, 0, 1) == 0.0
+    assert synchronization_cost_seconds(SimulatedGPU.from_name("V100").spec, 10, 160, 1) > 0.0
+
+
+def test_division_penalty_only_for_double(j2d5pt):
+    device = SimulatedGPU.from_name("V100")
+    assert device.division_penalty("float", True) == 1.0
+    assert device.division_penalty("double", True) > 1.0
+    assert device.division_penalty("double", False) == 1.0
+
+
+# -- timing simulator -------------------------------------------------------------------
+
+
+def test_simulator_accepts_name_spec_or_device(j2d5pt, v100, eval_2d_grid):
+    config = BlockingConfig(bT=4, bS=(256,))
+    by_name = TimingSimulator("V100").simulate(j2d5pt, eval_2d_grid, config)
+    by_spec = TimingSimulator(v100).simulate(j2d5pt, eval_2d_grid, config)
+    by_device = TimingSimulator(SimulatedGPU(v100)).simulate(j2d5pt, eval_2d_grid, config)
+    assert by_name.gflops == by_spec.gflops == by_device.gflops
+
+
+def test_simulated_below_model_prediction(j2d5pt, v100, eval_2d_grid):
+    """The simulator reproduces the model-accuracy gap (Section 7.2)."""
+    from repro.model.roofline import predict_performance
+
+    config = BlockingConfig(bT=10, bS=(256,), hS=512, register_limit=64)
+    predicted = predict_performance(j2d5pt, eval_2d_grid, config, v100)
+    measured = simulate_performance(j2d5pt, eval_2d_grid, config, v100)
+    assert measured.gflops < predicted.gflops
+    assert measured.gflops > 0.3 * predicted.gflops
+
+
+def test_v100_faster_than_p100(j2d5pt, eval_2d_grid):
+    config = BlockingConfig(bT=8, bS=(256,), register_limit=64)
+    v = simulate_performance(j2d5pt, eval_2d_grid, config, "V100")
+    p = simulate_performance(j2d5pt, eval_2d_grid, config, "P100")
+    assert v.gflops > p.gflops
+
+
+def test_model_accuracy_lower_on_p100(j2d5pt, eval_2d_grid):
+    """Section 7.2: the model over-predicts more on P100 than on V100."""
+    from repro.model.roofline import predict_performance
+    from repro.model.gpu_specs import get_gpu
+
+    config = BlockingConfig(bT=8, bS=(256,), hS=512, register_limit=64)
+    acc = {}
+    for gpu in ("V100", "P100"):
+        predicted = predict_performance(j2d5pt, eval_2d_grid, config, get_gpu(gpu))
+        measured = simulate_performance(j2d5pt, eval_2d_grid, config, gpu)
+        acc[gpu] = measured.gflops / predicted.gflops
+    assert acc["P100"] < acc["V100"]
+
+
+def test_double_precision_division_slowdown(eval_2d_grid):
+    """Section 7.1: j* stencils slow down disproportionately in double precision."""
+    config = BlockingConfig(bT=8, bS=(256,), hS=512, register_limit=64)
+    j2d5pt_d = load_pattern("j2d5pt", "double")
+    star_d = load_pattern("star2d1r", "double")
+    jac = simulate_performance(j2d5pt_d, eval_2d_grid, config, "V100")
+    star = simulate_performance(star_d, eval_2d_grid, config, "V100")
+    # Same shape and radius, but the division stencil is much slower.
+    assert jac.gflops < 0.75 * star.gflops
+
+
+def test_temporal_blocking_scaling_shape_2d(eval_2d_grid):
+    """Fig. 8 (2D star, float): performance rises with bT and peaks near 8-12."""
+    pattern = load_pattern("star2d1r", "float")
+    gflops = {}
+    for bT in (1, 2, 4, 8, 10, 12, 16):
+        config = BlockingConfig(bT=bT, bS=(256,), register_limit=96)
+        gflops[bT] = simulate_performance(pattern, eval_2d_grid, config, "V100").gflops
+    assert gflops[4] > gflops[1]
+    assert gflops[8] > gflops[2]
+    peak_bt = max(gflops, key=gflops.get)
+    assert 6 <= peak_bt <= 14
+    assert gflops[16] <= gflops[peak_bt]
+
+
+def test_temporal_blocking_scaling_shape_3d(eval_3d_grid):
+    """Fig. 8 (3D star, float): performance peaks at a lower bT than 2D."""
+    pattern = load_pattern("star3d1r", "float")
+    gflops = {}
+    for bT in (1, 2, 3, 4, 6, 8):
+        config = BlockingConfig(bT=bT, bS=(32, 32), register_limit=96)
+        gflops[bT] = simulate_performance(pattern, eval_3d_grid, config, "V100").gflops
+    peak_bt = max(gflops, key=gflops.get)
+    assert 2 <= peak_bt <= 6
+    assert gflops[peak_bt] > gflops[1]
+
+
+def test_unlaunchable_configuration_reports_zero(eval_3d_grid):
+    pattern = load_pattern("box3d4r", "double")
+    # 32x32 threads with radius-4 double-precision general stencil: the
+    # shared-memory footprint alone exceeds what an SM can hold.
+    config = BlockingConfig(bT=1, bS=(32, 32), star_opt=False, associative_opt=False)
+    measurement = simulate_performance(pattern, eval_3d_grid, config, "P100")
+    assert measurement.gflops == 0.0 or measurement.occupancy > 0.0
+
+
+def test_measurement_row_fields(j2d5pt, eval_2d_grid):
+    measurement = simulate_performance(j2d5pt, eval_2d_grid, BlockingConfig(bT=4, bS=(256,)), "V100")
+    row = measurement.as_row()
+    assert set(row) == {"time_s", "gflops", "gcells", "occupancy", "registers", "bottleneck"}
+    assert row["time_s"] > 0
+
+
+# -- baselines ---------------------------------------------------------------------------
+
+
+def test_fig6_framework_ordering_2d(j2d5pt, eval_2d_grid, v100):
+    loop = LoopTilingBaseline(v100).simulate(j2d5pt, eval_2d_grid)
+    hybrid = HybridTilingBaseline(v100).simulate(j2d5pt, eval_2d_grid)
+    stencilgen = StencilGenBaseline(v100).simulate(j2d5pt, eval_2d_grid)
+    an5d = simulate_performance(j2d5pt, eval_2d_grid, sconf_configuration(j2d5pt), v100)
+    assert loop.gflops < hybrid.gflops
+    assert loop.gflops < stencilgen.gflops
+    assert stencilgen.gflops < 1.25 * an5d.gflops  # AN5D Sconf competitive or better
+
+
+def test_fig6_hybrid_weak_for_3d(star3d1r, eval_3d_grid, v100):
+    hybrid = HybridTilingBaseline(v100).simulate(star3d1r, eval_3d_grid)
+    stencilgen = StencilGenBaseline(v100).simulate(star3d1r, eval_3d_grid)
+    assert hybrid.gflops < stencilgen.gflops
+
+
+def test_loop_tiling_is_global_memory_bound(j2d5pt, eval_2d_grid, v100):
+    result = LoopTilingBaseline(v100).simulate(j2d5pt, eval_2d_grid)
+    assert "no temporal blocking" in result.notes
+    # An upper bound: flops/cell * BW / (2 * word) with perfect efficiency.
+    bound = 10 * 791 / 8
+    assert result.gflops < bound
+
+
+def test_stencilgen_caps_temporal_blocking(j2d5pt, eval_2d_grid, v100):
+    baseline = StencilGenBaseline(v100)
+    high_bt = baseline.simulate(j2d5pt, eval_2d_grid, BlockingConfig(bT=10, bS=(128,), hS=128))
+    default = baseline.simulate(j2d5pt, eval_2d_grid)
+    # bT is clamped to 4, so asking for 10 cannot beat the default by much.
+    assert high_bt.gflops <= default.gflops * 1.05
+
+
+def test_stencilgen_occupancy_limited_by_multibuffering(box2d1r, v100):
+    baseline = StencilGenBaseline(v100)
+    blocks_low, _, _ = baseline.occupancy(box2d1r, BlockingConfig(bT=2, bS=(128,)))
+    blocks_high, _, factor = baseline.occupancy(box2d1r, BlockingConfig(bT=4, bS=(512,)))
+    assert blocks_low >= blocks_high
+
+
+def test_stencilgen_registers_exceed_an5d(j2d5pt, eval_2d_grid, v100):
+    from repro.model.registers import estimate_registers
+
+    config = sconf_configuration(j2d5pt)
+    result = StencilGenBaseline(v100).simulate(j2d5pt, eval_2d_grid, config)
+    assert result.registers_per_thread > estimate_registers(j2d5pt, config)
+
+
+def test_hybrid_tile_fits_shared_memory(j2d5pt, v100):
+    baseline = HybridTilingBaseline(v100)
+    cells = baseline.tile_cells(j2d5pt)
+    assert cells * 2 * j2d5pt.word_bytes <= v100.shared_memory_per_sm_bytes // 2
+
+
+def test_baseline_result_rows(j2d5pt, eval_2d_grid, v100):
+    for baseline in (LoopTilingBaseline(v100), HybridTilingBaseline(v100), StencilGenBaseline(v100)):
+        row = baseline.simulate(j2d5pt, eval_2d_grid).as_row()
+        assert row["gflops"] > 0
+        assert row["framework"]
+
+
+def test_baselines_from_name_constructor():
+    assert StencilGenBaseline.from_name("V100").gpu.sm_count == 80
+    assert HybridTilingBaseline.from_name("P100").gpu.sm_count == 56
+    assert LoopTilingBaseline.from_name("v100").gpu.sm_count == 80
