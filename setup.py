@@ -1,3 +1,18 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="an5d-repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of AN5D (CGO 2020): low-overhead temporal blocking for "
+        "GPU stencils — frontend, IR, compiled execution, performance model, "
+        "timing simulation and autotuning on NumPy"
+    ),
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["an5d=repro.cli:main"]},
+)

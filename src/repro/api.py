@@ -41,6 +41,7 @@ from repro.sim.timing import SimulatedMeasurement, simulate_performance
 from repro.stencils.library import BENCHMARKS, get_benchmark, load_pattern
 from repro.stencils.reference import make_initial_grid, run_reference
 from repro.tuning.autotuner import AutoTuner, TuningResult
+from repro.tuning.exhaustive import ExhaustiveResult, exhaustive_search
 
 PatternLike = Union[str, StencilPattern]
 
@@ -168,6 +169,25 @@ def tune(
     resolved = _resolve_pattern(pattern, dtype)
     tuner = AutoTuner(gpu, top_k=top_k)
     return tuner.tune(resolved, _resolve_grid(resolved, grid, time_steps))
+
+
+def exhaustive(
+    pattern: PatternLike,
+    gpu: Union[str, GpuSpec] = "V100",
+    dtype: str = "float",
+    grid: Union[GridSpec, Sequence[int], None] = None,
+    time_steps: int = 1000,
+    workers: int = 1,
+) -> ExhaustiveResult:
+    """Exhaustive simulated sweep of the full (pruned) search space.
+
+    ``workers`` > 1 fans the sweep out over a ``multiprocessing`` pool; the
+    result is identical to the serial sweep.
+    """
+    resolved = _resolve_pattern(pattern, dtype)
+    return exhaustive_search(
+        resolved, _resolve_grid(resolved, grid, time_steps), gpu, workers=workers
+    )
 
 
 def sconf(pattern: PatternLike, dtype: str = "float") -> BlockingConfig:

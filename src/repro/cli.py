@@ -9,6 +9,8 @@ Subcommands
     Generate CUDA kernel + host code and print (or save) it.
 ``an5d tune <benchmark> [--gpu V100 --dtype float]``
     Run the model-guided autotuner and report the chosen configuration.
+``an5d exhaustive <benchmark> [--gpu V100 --workers 4]``
+    Sweep the entire pruned search space (optionally in parallel).
 ``an5d predict <benchmark> --bT 8 --bS 256``
     Print the analytic model's prediction for one configuration.
 ``an5d verify <benchmark> [--bT 4 --bS 32]``
@@ -95,6 +97,23 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_exhaustive(args: argparse.Namespace) -> int:
+    result = api.exhaustive(
+        args.stencil,
+        gpu=args.gpu,
+        dtype=args.dtype,
+        time_steps=args.time_steps,
+        workers=args.workers,
+    )
+    print(
+        f"exhaustive optimum for {args.stencil} on {args.gpu} ({args.dtype}), "
+        f"{result.evaluated} simulated runs:"
+    )
+    for key, value in result.as_row().items():
+        print(f"  {key:>14}: {value}")
+    return 0
+
+
 def _cmd_predict(args: argparse.Namespace) -> int:
     config = _blocking_config(args)
     prediction = api.predict(args.stencil, config, gpu=args.gpu, dtype=args.dtype)
@@ -161,6 +180,18 @@ def build_parser() -> argparse.ArgumentParser:
     tune_parser.add_argument("--dtype", choices=("float", "double"), default="float")
     tune_parser.add_argument("--time-steps", type=int, default=1000)
     tune_parser.set_defaults(func=_cmd_tune)
+
+    exhaustive_parser = sub.add_parser(
+        "exhaustive", help="sweep the entire pruned search space"
+    )
+    exhaustive_parser.add_argument("stencil")
+    exhaustive_parser.add_argument("--gpu", default="V100")
+    exhaustive_parser.add_argument("--dtype", choices=("float", "double"), default="float")
+    exhaustive_parser.add_argument("--time-steps", type=int, default=1000)
+    exhaustive_parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes for the sweep"
+    )
+    exhaustive_parser.set_defaults(func=_cmd_exhaustive)
 
     predict_parser = sub.add_parser("predict", help="model + simulator prediction")
     predict_parser.add_argument("stencil")

@@ -7,13 +7,20 @@ shape classification, the data type, and the grid it applies to.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, Sequence, Tuple
 
 from repro.ir import classify
 from repro.ir.expr import Expr, GridRead, Offset, grid_reads
 
 _DTYPE_BYTES = {"float": 4, "double": 8}
+
+#: Monotonically increasing identity tokens for pattern-keyed caches: deep
+#: expression trees make structural hashing both costly and recursion-bound,
+#: so caches key on this token (holding a reference to the pattern) instead.
+_PATTERN_TOKENS = itertools.count()
 
 
 @dataclass(frozen=True)
@@ -100,24 +107,35 @@ class StencilPattern:
             if read.time_offset != 0:
                 raise ValueError("only reads from the previous time step are supported")
 
+    # -- identity ----------------------------------------------------------
+    @cached_property
+    def cache_key(self) -> int:
+        """A process-unique token for keying pattern-derived caches.
+
+        Structural hashing of deep expression trees is O(nodes) per lookup
+        and recursion-bound; caches that hold a reference to the pattern can
+        key on this token instead.
+        """
+        return next(_PATTERN_TOKENS)
+
     # -- geometric properties ---------------------------------------------
-    @property
+    @cached_property
     def reads(self) -> list[GridRead]:
         return grid_reads(self.expr)
 
-    @property
+    @cached_property
     def offsets(self) -> list[Offset]:
         """Distinct neighbour offsets, sorted lexicographically."""
         return sorted({read.offset for read in self.reads})
 
-    @property
+    @cached_property
     def accesses(self) -> list[AccessInfo]:
         counts: Dict[Offset, int] = {}
         for read in self.reads:
             counts[read.offset] = counts.get(read.offset, 0) + 1
         return [AccessInfo(offset, counts[offset]) for offset in sorted(counts)]
 
-    @property
+    @cached_property
     def radius(self) -> int:
         """The stencil radius ``rad``: the largest absolute offset component."""
         return max(abs(component) for offset in self.offsets for component in offset)
@@ -132,7 +150,7 @@ class StencilPattern:
         return _DTYPE_BYTES[self.dtype] // 4
 
     # -- classification -----------------------------------------------------
-    @property
+    @cached_property
     def shape(self) -> "classify.StencilShape":
         return classify.classify_shape(self.offsets)
 
@@ -144,23 +162,23 @@ class StencilPattern:
     def is_box(self) -> bool:
         return self.shape is classify.StencilShape.BOX
 
-    @property
+    @cached_property
     def diagonal_access_free(self) -> bool:
         return classify.is_diagonal_access_free(self.offsets)
 
-    @property
+    @cached_property
     def associative(self) -> bool:
         return classify.is_associative(self.expr)
 
-    @property
+    @cached_property
     def has_division(self) -> bool:
         return classify.uses_division(self.expr)
 
-    @property
+    @cached_property
     def has_sqrt(self) -> bool:
         return classify.uses_sqrt(self.expr)
 
-    @property
+    @cached_property
     def streaming_offsets(self) -> list[int]:
         """Distinct offsets along the streaming (outermost spatial) dimension."""
         return sorted({offset[0] for offset in self.offsets})

@@ -11,12 +11,27 @@ separate timing simulator in :mod:`repro.sim`.
 
 from repro.model.gpu_specs import GPUS, GpuSpec, get_gpu
 from repro.model.threads import ThreadWorkCounts, count_thread_work
-from repro.model.traffic import TrafficTotals, compute_traffic, shared_memory_access_per_thread
+from repro.model.traffic import (
+    TrafficTotals,
+    clear_traffic_cache,
+    compute_traffic,
+    shared_memory_access_per_thread,
+)
 from repro.model.registers import estimate_registers, register_pressure_ok, stencilgen_registers
-from repro.model.occupancy import OccupancyResult, occupancy_for
+from repro.model.occupancy import OccupancyResult, clear_occupancy_cache, occupancy_for
 from repro.model.roofline import PerformancePrediction, predict_performance
 
+
+def clear_model_caches() -> None:
+    """Drop every model-layer memo (used by benchmarks to time cold paths)."""
+    clear_traffic_cache()
+    clear_occupancy_cache()
+
+
 __all__ = [
+    "clear_model_caches",
+    "clear_occupancy_cache",
+    "clear_traffic_cache",
     "GPUS",
     "GpuSpec",
     "OccupancyResult",

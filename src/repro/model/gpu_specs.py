@@ -13,6 +13,7 @@ used only by the timing simulator, never by the analytic model.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict
 
 
@@ -117,6 +118,7 @@ _ALIASES = {
 }
 
 
+@lru_cache(maxsize=None)
 def get_gpu(name: str) -> GpuSpec:
     """Look up a GPU spec by name (case-insensitive, common aliases accepted)."""
     key = _ALIASES.get(name.strip().lower())

@@ -55,6 +55,16 @@ def paper_sm_efficiency(total_blocks: int, nthr: int, gpu: GpuSpec) -> float:
     return full / partial
 
 
+#: Memo for occupancy_for, keyed by the pattern's identity token plus the
+#: full configuration (occupancy genuinely depends on the register limit).
+_OCCUPANCY_CACHE: dict = {}
+_OCCUPANCY_CACHE_MAX = 1 << 16
+
+
+def clear_occupancy_cache() -> None:
+    _OCCUPANCY_CACHE.clear()
+
+
 def occupancy_for(
     pattern: StencilPattern,
     grid: GridSpec,
@@ -62,7 +72,24 @@ def occupancy_for(
     gpu: GpuSpec,
     framework: str = "an5d",
 ) -> OccupancyResult:
-    """Detailed occupancy used by the timing simulator."""
+    """Detailed occupancy used by the timing simulator (memoized)."""
+    key = (pattern.cache_key, grid, config, gpu, framework)
+    cached = _OCCUPANCY_CACHE.get(key)
+    if cached is None:
+        cached = _occupancy_for(pattern, grid, config, gpu, framework)
+        if len(_OCCUPANCY_CACHE) >= _OCCUPANCY_CACHE_MAX:
+            _OCCUPANCY_CACHE.clear()
+        _OCCUPANCY_CACHE[key] = cached
+    return cached
+
+
+def _occupancy_for(
+    pattern: StencilPattern,
+    grid: GridSpec,
+    config: BlockingConfig,
+    gpu: GpuSpec,
+    framework: str = "an5d",
+) -> OccupancyResult:
     model = ExecutionModel(pattern, grid, config)
     nthr = config.nthr
     smem = an5d_shared_memory_plan(pattern, config)

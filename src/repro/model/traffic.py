@@ -72,13 +72,45 @@ class TrafficTotals:
         return self.useful_flops / self.global_bytes
 
 
+#: Memo for compute_traffic: traffic totals are identical for every register
+#: limit of a configuration, so tuning sweeps that fan one config out over
+#: several ``-maxrregcount`` values hit the cache after the first variant.
+#: Keys use the pattern's identity token (see StencilPattern.cache_key).
+_TRAFFIC_CACHE: dict = {}
+_TRAFFIC_CACHE_MAX = 1 << 16
+
+
+def clear_traffic_cache() -> None:
+    _TRAFFIC_CACHE.clear()
+
+
 def compute_traffic(
     pattern: StencilPattern,
     grid: GridSpec,
     config: BlockingConfig,
     practical_smem: bool = True,
 ) -> TrafficTotals:
-    """Total global/shared traffic and FLOPs for running ``grid.time_steps``."""
+    """Total global/shared traffic and FLOPs for running ``grid.time_steps``.
+
+    Results are memoized per (pattern, grid, configuration-sans-register-limit).
+    """
+    base_config = config if config.register_limit is None else config.with_register_limit(None)
+    key = (pattern.cache_key, grid, base_config, practical_smem)
+    cached = _TRAFFIC_CACHE.get(key)
+    if cached is None:
+        cached = _compute_traffic(pattern, grid, base_config, practical_smem)
+        if len(_TRAFFIC_CACHE) >= _TRAFFIC_CACHE_MAX:
+            _TRAFFIC_CACHE.clear()
+        _TRAFFIC_CACHE[key] = cached
+    return cached
+
+
+def _compute_traffic(
+    pattern: StencilPattern,
+    grid: GridSpec,
+    config: BlockingConfig,
+    practical_smem: bool,
+) -> TrafficTotals:
     work = count_thread_work(pattern, grid, config)
     flop_mix = count_flops(pattern.expr)
     flops_per_cell = flop_mix.total

@@ -19,13 +19,15 @@ correctness oracle the test-suite and the examples rely on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 
 from repro.core.config import BlockingConfig
 from repro.core.execution_model import ExecutionModel
+from repro.ir.compile import compile_pattern
+from repro.ir.expr import GridRead, substitute
 from repro.ir.stencil import GridSpec, StencilPattern
 from repro.stencils.reference import (
     ReferenceExecutor,
@@ -35,6 +37,29 @@ from repro.stencils.reference import (
     numpy_dtype,
     run_reference,
 )
+
+
+#: Per-original-pattern cache of the stream-dimension-innermost variant used
+#: by the executor's internal layout (see BlockedStencilExecutor).  Bounded:
+#: on overflow the cache is dropped and rebuilt on demand.
+_STREAM_LAST_PATTERNS: Dict[int, StencilPattern] = {}
+_STREAM_LAST_PATTERNS_MAX = 1024
+
+
+def _stream_last_pattern(pattern: StencilPattern) -> StencilPattern:
+    """``pattern`` with grid-read offsets cycled so the streaming dimension
+    (spatial dimension 0) comes last."""
+    cached = _STREAM_LAST_PATTERNS.get(pattern.cache_key)
+    if cached is None:
+        mapping = {
+            read: GridRead(read.array, read.offset[1:] + read.offset[:1], read.time_offset)
+            for read in pattern.reads
+        }
+        cached = replace(pattern, expr=substitute(pattern.expr, mapping))
+        if len(_STREAM_LAST_PATTERNS) >= _STREAM_LAST_PATTERNS_MAX:
+            _STREAM_LAST_PATTERNS.clear()
+        _STREAM_LAST_PATTERNS[pattern.cache_key] = cached
+    return cached
 
 
 @dataclass(frozen=True)
@@ -53,7 +78,13 @@ class TileExtent:
 class BlockedStencilExecutor:
     """Runs a stencil with AN5D's overlapped space/time blocking on NumPy."""
 
-    def __init__(self, pattern: StencilPattern, grid: GridSpec, config: BlockingConfig) -> None:
+    def __init__(
+        self,
+        pattern: StencilPattern,
+        grid: GridSpec,
+        config: BlockingConfig,
+        kernel_mode: str = "auto",
+    ) -> None:
         config.validate(pattern)
         self.pattern = pattern
         self.grid = grid
@@ -62,6 +93,19 @@ class BlockedStencilExecutor:
         self.model = ExecutionModel(pattern, grid, config)
         self.reference = ReferenceExecutor(pattern)
         self.dtype = numpy_dtype(pattern.dtype)
+        # Internal layout: the streaming dimension is moved innermost.  The
+        # dependency cone only ever shrinks the blocked dimensions, so with
+        # the (full-length) streaming dimension last every ufunc in the
+        # compiled kernel runs over long contiguous spans instead of the
+        # short strided runs a shrinking innermost dimension would leave.
+        ndim = pattern.ndim
+        self._perm = tuple(range(1, ndim)) + (0,)
+        self._inv_perm = (ndim - 1,) + tuple(range(ndim - 1))
+        self.kernel = compile_pattern(_stream_last_pattern(pattern), mode=kernel_mode)
+        # Tile lists are identical for every launch with the same time_block,
+        # and tiles of equal load shape share one pair of local buffers.
+        self._tile_lists: Dict[int, List[TileExtent]] = {}
+        self._tile_buffers: Dict[Tuple[int, ...], Tuple[np.ndarray, np.ndarray]] = {}
 
     # -- tiling ----------------------------------------------------------------
     def _dim_tiles(self, extent: int, compute: int, halo: int) -> List[Tuple[int, int, int, int]]:
@@ -109,82 +153,120 @@ class BlockedStencilExecutor:
 
         yield from recurse(0, [], [])
 
+    def _tiles_internal(self, time_block: int) -> List[TileExtent]:
+        """Tile list of one launch in internal (stream-last) coordinates,
+        computed once per ``time_block``."""
+        cached = self._tile_lists.get(time_block)
+        if cached is None:
+            perm = self._perm
+            cached = [
+                TileExtent(
+                    load=tuple(tile.load[p] for p in perm),
+                    store=tuple(tile.store[p] for p in perm),
+                )
+                for tile in self.tiles(time_block)
+            ]
+            self._tile_lists[time_block] = cached
+        return cached
+
+    # -- layout ---------------------------------------------------------------
+    def _to_internal(self, array: np.ndarray) -> np.ndarray:
+        """Copy ``array`` into the stream-last internal layout."""
+        return np.ascontiguousarray(np.transpose(array, self._perm))
+
+    def _from_internal(self, array: np.ndarray) -> np.ndarray:
+        """Copy an internal-layout array back to the public layout."""
+        return np.ascontiguousarray(np.transpose(array, self._inv_perm))
+
     # -- execution -----------------------------------------------------------------
+    def _local_buffers(self, shape: Tuple[int, ...]) -> Tuple[np.ndarray, np.ndarray]:
+        """The double-buffer pair for tiles of ``shape`` (reused across
+        tiles, launches and runs)."""
+        pair = self._tile_buffers.get(shape)
+        if pair is None:
+            pair = (np.empty(shape, self.dtype), np.empty(shape, self.dtype))
+            self._tile_buffers[shape] = pair
+        return pair
+
     def _run_tile(self, source: np.ndarray, tile: TileExtent, time_block: int) -> np.ndarray:
-        """Compute ``time_block`` steps of one tile; return the stored region."""
+        """Compute ``time_block`` steps of one tile; return the stored region.
+
+        ``source``, ``tile`` and the returned view are all in internal
+        (stream-last) coordinates; the view aliases a reused scratch buffer
+        and is only valid until the next ``_run_tile`` call.
+        """
         rad = self.radius
         load_slices = tuple(slice(lo, hi) for lo, hi in tile.load)
-        local = source[load_slices].astype(self.dtype, copy=True)
+        shape = tuple(hi - lo for lo, hi in tile.load)
+        current, other = self._local_buffers(shape)
+        np.copyto(current, source[load_slices])
 
-        # Which local cells correspond to grid-interior (updatable) cells.
-        interior_mask_slices = []
-        for (lo, hi), dim_size in zip(tile.load, source.shape):
-            interior_lo = max(lo, rad)
-            interior_hi = min(hi, dim_size - rad)
-            interior_mask_slices.append((interior_lo - lo, interior_hi - lo))
+        # Which local cells correspond to grid-interior (updatable) cells,
+        # and of those, which have a full neighbourhood inside the tile.
+        base: List[Tuple[int, int]] = []
+        for d, ((lo, hi), dim_size) in enumerate(zip(tile.load, source.shape)):
+            interior_lo = max(lo, rad) - lo
+            interior_hi = min(hi, dim_size - rad) - lo
+            base.append((max(interior_lo, rad), min(interior_hi, shape[d] - rad)))
 
-        for _ in range(time_block):
-            updated = local.copy()
-            # Update every interior cell that has a full neighbourhood inside
-            # the local tile; halo cells near cut edges become stale, which is
-            # harmless because they are never stored.
-            region = tuple(
-                slice(max(lo, rad), min(hi, local.shape[d] - rad))
-                for d, (lo, hi) in enumerate(interior_mask_slices)
-            )
-            if any(s.start >= s.stop for s in region):
-                break
-            shifted_region = self._evaluate_region(local, region)
-            updated[region] = shifted_region
-            local = updated
-
-        store_slices_local = tuple(
-            slice(store_lo - load_lo, store_hi - load_lo)
+        store_local = tuple(
+            (store_lo - load_lo, store_hi - load_lo)
             for (store_lo, store_hi), (load_lo, _) in zip(tile.store, tile.load)
         )
-        return local[store_slices_local]
+        store_slices_local = tuple(slice(lo, hi) for lo, hi in store_local)
+        if any(lo >= hi for lo, hi in base):
+            return current[store_slices_local]
 
-    def _evaluate_region(self, local: np.ndarray, region: Tuple[slice, ...]) -> np.ndarray:
-        """Evaluate the stencil expression over an arbitrary region of a tile."""
-        from repro.ir.expr import BinOp, Call, Const, GridRead, UnaryOp
-        from repro.stencils.reference import _CALL_NUMPY  # noqa: WPS450 (shared impl)
-
-        def shifted(offset: Tuple[int, ...]) -> np.ndarray:
-            slices = tuple(
-                slice(s.start + off, s.stop + off) for s, off in zip(region, offset)
+        def cone_region(step: int) -> Tuple[slice, ...]:
+            # Dependency cone: at step s only cells within (time_block - s) *
+            # rad of the stored region can still influence it, so the update
+            # region shrinks toward the store region without changing any
+            # stored value.
+            margin = (time_block - step) * rad
+            return tuple(
+                slice(max(b_lo, s_lo - margin), min(b_hi, s_hi + margin))
+                for (b_lo, b_hi), (s_lo, s_hi) in zip(base, store_local)
             )
-            return local[slices]
 
-        def evaluate(expr) -> np.ndarray:
-            if isinstance(expr, Const):
-                return np.asarray(expr.value, dtype=self.dtype)
-            if isinstance(expr, GridRead):
-                return shifted(expr.offset)
-            if isinstance(expr, BinOp):
-                lhs, rhs = evaluate(expr.lhs), evaluate(expr.rhs)
-                if expr.op == "+":
-                    return lhs + rhs
-                if expr.op == "-":
-                    return lhs - rhs
-                if expr.op == "*":
-                    return lhs * rhs
-                return lhs / rhs
-            if isinstance(expr, UnaryOp):
-                return -evaluate(expr.operand)
-            if isinstance(expr, Call):
-                return _CALL_NUMPY[expr.name](*[evaluate(a) for a in expr.args])
-            raise TypeError(f"unknown expression node {expr!r}")
-
-        return evaluate(self.pattern.expr).astype(self.dtype)
+        # Double-buffered stepping: each buffer's never-written cells keep
+        # their loaded values, exactly like the previous copy-per-step scheme
+        # (stale halo cells near cut edges are never read by any cell the
+        # stored region depends on).  The second buffer only ever gets read
+        # inside the first step's region expanded by one radius, so only that
+        # part needs the loaded values.
+        if time_block >= 2:
+            first = cone_region(1)
+            seed_slices = tuple(
+                slice(max(s.start - rad, 0), min(s.stop + rad, dim))
+                for s, dim in zip(first, shape)
+            )
+            np.copyto(other[seed_slices], current[seed_slices])
+        for step in range(1, time_block + 1):
+            region = cone_region(step)
+            self.kernel(current, region, out=other[region])
+            current, other = other, current
+        return current[store_slices_local]
 
     def launch(self, source: np.ndarray, time_block: int) -> np.ndarray:
         """One kernel launch: ``time_block`` combined steps over the grid."""
-        destination = source.copy()
-        for tile in self.tiles(time_block):
+        internal = self._to_internal(source.astype(self.dtype, copy=False))
+        destination = internal.copy()
+        self._launch_into(internal, destination, time_block)
+        return self._from_internal(destination)
+
+    def _launch_into(
+        self, source: np.ndarray, destination: np.ndarray, time_block: int
+    ) -> None:
+        """Run one launch from ``source`` into ``destination`` (both in
+        internal layout).
+
+        ``destination`` must already carry the constant boundary ring; the
+        tile stores cover the whole interior.
+        """
+        for tile in self._tiles_internal(time_block):
             result = self._run_tile(source, tile, time_block)
             store_slices = tuple(slice(lo, hi) for lo, hi in tile.store)
             destination[store_slices] = result
-        return destination
 
     def launch_schedule(self, total_steps: int) -> List[int]:
         """Split ``total_steps`` into per-launch step counts (host-code logic)."""
@@ -197,12 +279,22 @@ class BlockedStencilExecutor:
         return schedule
 
     def run(self, initial: np.ndarray, time_steps: int | None = None) -> np.ndarray:
-        """Run the full blocked computation."""
+        """Run the full blocked computation (double-buffered across launches).
+
+        The grid is transposed into the internal stream-last layout once per
+        run and transposed back at the end; all launches in between reuse the
+        two full-grid buffers.
+        """
         steps = self.grid.time_steps if time_steps is None else time_steps
-        current = initial.astype(self.dtype, copy=True)
-        for launch_steps in self.launch_schedule(steps):
-            current = self.launch(current, launch_steps)
-        return current
+        schedule = self.launch_schedule(steps)
+        if not schedule:
+            return initial.astype(self.dtype, copy=True)
+        current = self._to_internal(initial.astype(self.dtype, copy=False))
+        destination = current.copy()
+        for launch_steps in schedule:
+            self._launch_into(current, destination, launch_steps)
+            current, destination = destination, current
+        return self._from_internal(current)
 
 
 def run_blocked(

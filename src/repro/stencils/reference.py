@@ -14,32 +14,19 @@ the C sources).
 
 from __future__ import annotations
 
-import math
-from typing import Callable, Dict, Tuple
+from typing import Tuple
 
 import numpy as np
 
+from repro.ir.compile import (
+    _CALL_NUMPY,
+    _NUMPY_DTYPES,
+    StencilKernel,
+    compile_pattern,
+    numpy_dtype,
+)
 from repro.ir.expr import BinOp, Call, Const, Expr, GridRead, UnaryOp
 from repro.ir.stencil import GridSpec, StencilPattern
-
-_NUMPY_DTYPES = {"float": np.float32, "double": np.float64}
-
-_CALL_NUMPY: Dict[str, Callable[..., np.ndarray]] = {
-    "sqrt": np.sqrt,
-    "sqrtf": np.sqrt,
-    "fabs": np.abs,
-    "fabsf": np.abs,
-    "exp": np.exp,
-    "expf": np.exp,
-    "min": np.minimum,
-    "max": np.maximum,
-    "fmin": np.minimum,
-    "fmax": np.maximum,
-}
-
-
-def numpy_dtype(dtype: str) -> type:
-    return _NUMPY_DTYPES[dtype]
 
 
 def make_initial_grid(pattern: StencilPattern, grid: GridSpec, seed: int = 0) -> np.ndarray:
@@ -51,12 +38,18 @@ def make_initial_grid(pattern: StencilPattern, grid: GridSpec, seed: int = 0) ->
 
 
 class ReferenceExecutor:
-    """Evaluates a stencil pattern directly with NumPy array arithmetic."""
+    """Evaluates a stencil pattern directly with NumPy array arithmetic.
 
-    def __init__(self, pattern: StencilPattern) -> None:
+    The expression is lowered once to a fused kernel
+    (:func:`repro.ir.compile.compile_pattern`); time stepping double-buffers
+    two preallocated grids instead of copying the source every step.
+    """
+
+    def __init__(self, pattern: StencilPattern, kernel: StencilKernel | None = None) -> None:
         self.pattern = pattern
         self.radius = pattern.radius
         self.dtype = numpy_dtype(pattern.dtype)
+        self.kernel = kernel if kernel is not None else compile_pattern(pattern)
 
     # -- expression evaluation ---------------------------------------------
     def _interior_slice(self, shape: Tuple[int, ...], offset: Tuple[int, ...]) -> Tuple[slice, ...]:
@@ -92,14 +85,23 @@ class ReferenceExecutor:
         """Apply one time step, returning a new array (boundary copied)."""
         result = source.copy()
         interior = tuple(slice(self.radius, dim - self.radius) for dim in source.shape)
-        result[interior] = self._eval(self.pattern.expr, source).astype(self.dtype)
+        self.kernel(source, interior, out=result[interior])
         return result
 
     def run(self, initial: np.ndarray, time_steps: int) -> np.ndarray:
-        """Apply ``time_steps`` steps starting from ``initial``."""
+        """Apply ``time_steps`` steps starting from ``initial``.
+
+        Double-buffered: the boundary ring is constant across steps, so the
+        two buffers swap roles instead of re-copying the grid every step.
+        """
         current = initial.astype(self.dtype, copy=True)
+        if time_steps <= 0:
+            return current
+        interior = tuple(slice(self.radius, dim - self.radius) for dim in current.shape)
+        other = current.copy()
         for _ in range(time_steps):
-            current = self.step(current)
+            self.kernel(current, interior, out=other[interior])
+            current, other = other, current
         return current
 
 
@@ -112,11 +114,53 @@ def run_reference(
     return ReferenceExecutor(pattern).run(initial, grid.time_steps)
 
 
+#: Chunk length for the streaming max_relative_error pass; bounds scratch
+#: memory at a few hundred KiB regardless of grid size.
+_ERROR_CHUNK = 1 << 16
+
+
 def max_relative_error(a: np.ndarray, b: np.ndarray) -> float:
-    """Maximum relative difference between two grids (used by verify())."""
-    denom = np.maximum(np.abs(a), np.abs(b))
-    denom = np.where(denom == 0, 1.0, denom)
-    return float(np.max(np.abs(a - b) / denom))
+    """Maximum relative difference between two grids (used by verify()).
+
+    Streams over the arrays in fixed-size chunks with reused scratch buffers
+    instead of materialising three full-size temporaries, and guards against
+    NaN inputs: positions where exactly one side is NaN (or the relative
+    error itself is NaN, e.g. inf vs inf of opposite sign) count as infinite
+    error, while positions where both sides are NaN are treated as matching.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    flat_a = a.reshape(-1)
+    flat_b = b.reshape(-1)
+    size = flat_a.size
+    chunk = min(_ERROR_CHUNK, max(size, 1))
+    diff = np.empty(chunk, dtype=np.float64)
+    denom = np.empty(chunk, dtype=np.float64)
+    scratch = np.empty(chunk, dtype=np.float64)
+    worst = 0.0
+    for start in range(0, size, chunk):
+        stop = min(start + chunk, size)
+        n = stop - start
+        x = flat_a[start:stop]
+        y = flat_b[start:stop]
+        d, m, s = diff[:n], denom[:n], scratch[:n]
+        np.subtract(x, y, out=d, casting="unsafe")
+        np.abs(d, out=d)
+        np.abs(x, out=m, casting="unsafe")
+        np.abs(y, out=s, casting="unsafe")
+        np.maximum(m, s, out=m)
+        np.copyto(m, 1.0, where=(m == 0))
+        np.divide(d, m, out=d)
+        if np.isnan(d).any():
+            both_nan = np.isnan(x) & np.isnan(y)
+            np.copyto(d, 0.0, where=both_nan)
+            np.copyto(d, np.inf, where=np.isnan(d))
+        peak = float(np.max(d)) if n else 0.0
+        if peak > worst:
+            worst = peak
+    return worst
 
 
 def allclose_for_dtype(a: np.ndarray, b: np.ndarray, dtype: str) -> bool:

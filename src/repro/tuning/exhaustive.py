@@ -10,8 +10,9 @@ leaves on the table (the "tuning efficiency").
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.config import BlockingConfig
 from repro.ir.stencil import GridSpec, StencilPattern
@@ -41,23 +42,19 @@ class ExhaustiveResult:
         }
 
 
-def exhaustive_search(
-    pattern: StencilPattern,
-    grid: GridSpec,
-    gpu: GpuSpec | str,
-    space: SearchSpace | None = None,
-    register_limits: Sequence[Optional[int]] = REGISTER_LIMITS,
-) -> ExhaustiveResult:
-    """Simulate every valid configuration and return the best one."""
-    spec = get_gpu(gpu) if isinstance(gpu, str) else gpu
-    space = space or default_search_space(pattern)
-    simulator = TimingSimulator(spec)
-    survivors = prune_configurations(pattern, space.configurations(), spec)
+_ChunkResult = Tuple[Optional[BlockingConfig], float, int]
 
+
+def _search_chunk(
+    args: Tuple[StencilPattern, GridSpec, GpuSpec, Sequence[BlockingConfig], Tuple[Optional[int], ...]],
+) -> _ChunkResult:
+    """Simulate one contiguous slice of the pruned space (worker function)."""
+    pattern, grid, spec, configs, register_limits = args
+    simulator = TimingSimulator(spec)
     best_config: Optional[BlockingConfig] = None
     best_gflops = 0.0
     evaluated = 0
-    for config in survivors:
+    for config in configs:
         for limit in register_limits:
             candidate = config.with_register_limit(limit)
             gflops = simulator.simulate(pattern, grid, candidate).gflops
@@ -65,6 +62,71 @@ def exhaustive_search(
             if gflops > best_gflops:
                 best_gflops = gflops
                 best_config = candidate
+    return best_config, best_gflops, evaluated
+
+
+def _search_parallel(
+    pattern: StencilPattern,
+    grid: GridSpec,
+    spec: GpuSpec,
+    survivors: List[BlockingConfig],
+    register_limits: Tuple[Optional[int], ...],
+    workers: int,
+) -> List[_ChunkResult]:
+    """Fan contiguous chunks of the space out over a process pool.
+
+    Chunks are combined in order with a strict greater-than comparison, so
+    the winner is identical to the serial sweep's (first best wins ties).
+    """
+    workers = min(workers, len(survivors))
+    chunk_size = (len(survivors) + workers - 1) // workers
+    chunks = [survivors[i : i + chunk_size] for i in range(0, len(survivors), chunk_size)]
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if "fork" in methods else None)
+    with context.Pool(processes=len(chunks)) as pool:
+        return pool.map(
+            _search_chunk,
+            [(pattern, grid, spec, chunk, register_limits) for chunk in chunks],
+        )
+
+
+def exhaustive_search(
+    pattern: StencilPattern,
+    grid: GridSpec,
+    gpu: GpuSpec | str,
+    space: SearchSpace | None = None,
+    register_limits: Sequence[Optional[int]] = REGISTER_LIMITS,
+    workers: int = 1,
+) -> ExhaustiveResult:
+    """Simulate every valid configuration and return the best one.
+
+    ``workers`` > 1 splits the pruned space into contiguous chunks swept by a
+    ``multiprocessing`` pool; results are identical to the serial sweep.  Any
+    failure to parallelize (no fork support, unpicklable pattern) falls back
+    to the serial path.
+    """
+    spec = get_gpu(gpu) if isinstance(gpu, str) else gpu
+    space = space or default_search_space(pattern)
+    survivors = prune_configurations(pattern, space.configurations(), spec)
+    limits = tuple(register_limits)
+
+    chunk_results: List[_ChunkResult]
+    if workers > 1 and len(survivors) > 1:
+        try:
+            chunk_results = _search_parallel(pattern, grid, spec, survivors, limits, workers)
+        except Exception:
+            chunk_results = [_search_chunk((pattern, grid, spec, survivors, limits))]
+    else:
+        chunk_results = [_search_chunk((pattern, grid, spec, survivors, limits))]
+
+    best_config: Optional[BlockingConfig] = None
+    best_gflops = 0.0
+    evaluated = 0
+    for chunk_config, chunk_gflops, chunk_evaluated in chunk_results:
+        evaluated += chunk_evaluated
+        if chunk_config is not None and chunk_gflops > best_gflops:
+            best_gflops = chunk_gflops
+            best_config = chunk_config
     if best_config is None:
         raise ValueError(f"no valid configuration for stencil {pattern.name!r}")
     return ExhaustiveResult(best_config=best_config, best_gflops=best_gflops, evaluated=evaluated)
@@ -97,9 +159,10 @@ def compare_guided_vs_exhaustive(
     gpu: GpuSpec | str,
     top_k: int = 5,
     space: SearchSpace | None = None,
+    workers: int = 1,
 ) -> TuningEfficiency:
     """Run both procedures on the same space and report the efficiency."""
     spec = get_gpu(gpu) if isinstance(gpu, str) else gpu
     guided = AutoTuner(spec, top_k=top_k).tune(pattern, grid, space)
-    exhaustive = exhaustive_search(pattern, grid, spec, space)
+    exhaustive = exhaustive_search(pattern, grid, spec, space, workers=workers)
     return TuningEfficiency(guided=guided, exhaustive=exhaustive)

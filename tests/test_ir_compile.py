@@ -1,0 +1,260 @@
+"""Tests for the compiled-expression engine and the rewritten executors.
+
+The contract under test: every kernel engine (fused NumPy, native C,
+interpreter) is *bit-identical*, and the double-buffered, dependency-cone
+tile loop of :class:`BlockedStencilExecutor` produces byte-for-byte the same
+results as the seed implementation (full-region interpretation with a copy
+per combined time step), which is replicated inline here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import BlockingConfig
+from repro.ir.compile import (
+    CompiledKernel,
+    InterpretedKernel,
+    compile_pattern,
+    native_supported,
+    _native_compiler,
+)
+from repro.ir.expr import BinOp, Call, Const, GridRead, UnaryOp
+from repro.ir.stencil import GridSpec
+from repro.sim.executor import BlockedStencilExecutor
+from repro.stencils.library import BENCHMARKS, load_pattern
+from repro.stencils.reference import (
+    _CALL_NUMPY,
+    ReferenceExecutor,
+    make_initial_grid,
+    max_relative_error,
+    numpy_dtype,
+)
+
+ALL_BENCHMARKS = sorted(BENCHMARKS)
+DTYPES = ("float", "double")
+
+
+def _sample_region(pattern, dtype, seed=0):
+    rng = np.random.default_rng(seed)
+    rad = pattern.radius
+    shape = tuple(10 + 2 * rad for _ in range(pattern.ndim))
+    src = rng.uniform(0.1, 1.0, size=shape).astype(numpy_dtype(dtype))
+    region = tuple(slice(rad, dim - rad) for dim in shape)
+    return src, region
+
+
+# ---------------------------------------------------------------------------
+# Property: every engine is bit-identical to the interpreter
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+def test_compiled_engine_bit_identical_to_interpreter(name, dtype):
+    pattern = load_pattern(name, dtype)
+    src, region = _sample_region(pattern, dtype)
+    out_shape = tuple(s.stop - s.start for s in region)
+
+    interpreted = np.empty(out_shape, dtype=src.dtype)
+    compile_pattern(pattern, mode="interpreter")(src, region, interpreted)
+
+    compiled = np.empty(out_shape, dtype=src.dtype)
+    compile_pattern(pattern, mode="compiled")(src, region, compiled)
+    assert np.array_equal(compiled, interpreted)
+
+
+#: Representative shapes for the (toolchain-build-per-kernel) native engine:
+#: a 3D star, a 3D box, a 2D second-order star and the sqrt/division stencil.
+NATIVE_SPOT_CHECKS = ("star3d1r", "j3d27pt", "j2d9pt", "gradient2d")
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+@pytest.mark.parametrize("name", NATIVE_SPOT_CHECKS)
+def test_native_engine_bit_identical_to_interpreter(name, dtype):
+    pattern = load_pattern(name, dtype)
+    if _native_compiler() is None or not native_supported(pattern):
+        pytest.skip("no native toolchain available")
+    src, region = _sample_region(pattern, dtype)
+    out_shape = tuple(s.stop - s.start for s in region)
+    interpreted = np.empty(out_shape, dtype=src.dtype)
+    compile_pattern(pattern, mode="interpreter")(src, region, interpreted)
+    native = np.empty(out_shape, dtype=src.dtype)
+    compile_pattern(pattern, mode="native")(src, region, native)
+    assert np.array_equal(native, interpreted)
+
+
+def test_compiled_kernel_reuses_scratch_and_cache():
+    pattern = load_pattern("j2d5pt", "float")
+    assert compile_pattern(pattern, mode="compiled") is compile_pattern(
+        pattern, mode="compiled"
+    )
+    kernel = CompiledKernel(pattern, "float")
+    src, region = _sample_region(pattern, "float")
+    out = np.empty(tuple(s.stop - s.start for s in region), dtype=np.float32)
+    kernel(src, region, out)
+    scratch_before = kernel.scratch_for(out.shape)
+    kernel(src, region, out)
+    assert kernel.scratch_for(out.shape) is scratch_before
+    assert kernel.num_scratch >= 1
+    assert "def _stencil_kernel" in kernel.source
+
+
+def test_interpreter_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_INTERPRET", "1")
+    pattern = load_pattern("j2d9pt", "float")
+    kernel = compile_pattern(pattern, mode="auto")
+    assert isinstance(kernel, InterpretedKernel)
+
+
+# ---------------------------------------------------------------------------
+# Regression: blocked executor output is unchanged vs. the seed behaviour
+# ---------------------------------------------------------------------------
+
+
+def _seed_eval(pattern, dtype, local, region):
+    """Verbatim logic of the seed's _evaluate_region."""
+
+    def shifted(offset):
+        return local[tuple(slice(s.start + o, s.stop + o) for s, o in zip(region, offset))]
+
+    def ev(expr):
+        if isinstance(expr, Const):
+            return np.asarray(expr.value, dtype=dtype)
+        if isinstance(expr, GridRead):
+            return shifted(expr.offset)
+        if isinstance(expr, BinOp):
+            lhs, rhs = ev(expr.lhs), ev(expr.rhs)
+            if expr.op == "+":
+                return lhs + rhs
+            if expr.op == "-":
+                return lhs - rhs
+            if expr.op == "*":
+                return lhs * rhs
+            return lhs / rhs
+        if isinstance(expr, UnaryOp):
+            return -ev(expr.operand)
+        if isinstance(expr, Call):
+            return _CALL_NUMPY[expr.name](*[ev(a) for a in expr.args])
+        raise TypeError(f"unknown expression node {expr!r}")
+
+    return ev(pattern.expr).astype(dtype)
+
+
+def _seed_blocked_run(executor: BlockedStencilExecutor, initial, time_steps):
+    """Verbatim logic of the seed's _run_tile / launch / run."""
+    pattern, rad, dtype = executor.pattern, executor.radius, executor.dtype
+    current = initial.astype(dtype, copy=True)
+    for launch_steps in executor.launch_schedule(time_steps):
+        destination = current.copy()
+        for tile in executor.tiles(launch_steps):
+            local = current[tuple(slice(lo, hi) for lo, hi in tile.load)].astype(
+                dtype, copy=True
+            )
+            mask = [
+                (max(lo, rad) - lo, min(hi, dim - rad) - lo)
+                for (lo, hi), dim in zip(tile.load, current.shape)
+            ]
+            for _ in range(launch_steps):
+                updated = local.copy()
+                region = tuple(
+                    slice(max(lo, rad), min(hi, local.shape[d] - rad))
+                    for d, (lo, hi) in enumerate(mask)
+                )
+                if any(s.start >= s.stop for s in region):
+                    break
+                updated[region] = _seed_eval(pattern, dtype, local, region)
+                local = updated
+            store = tuple(slice(lo, hi) for lo, hi in tile.store)
+            destination[store] = local[
+                tuple(
+                    slice(s_lo - l_lo, s_hi - l_lo)
+                    for (s_lo, s_hi), (l_lo, _) in zip(tile.store, tile.load)
+                )
+            ]
+        current = destination
+    return current
+
+
+@pytest.mark.parametrize(
+    "name,dtype,interior,config,time_steps",
+    [
+        ("star3d1r", "float", (24, 24, 24), BlockingConfig(bT=4, bS=(12, 12)), 9),
+        ("star3d1r", "double", (16, 20, 20), BlockingConfig(bT=2, bS=(10, 10), hS=8), 5),
+        ("j3d27pt", "float", (12, 16, 16), BlockingConfig(bT=2, bS=(10, 10)), 4),
+        ("j2d5pt", "float", (40, 40), BlockingConfig(bT=3, bS=(16,)), 7),
+        ("j2d9pt", "double", (32, 32), BlockingConfig(bT=2, bS=(24,), hS=16), 5),
+        ("gradient2d", "float", (30, 30), BlockingConfig(bT=2, bS=(12,)), 4),
+        ("j2d9pt-gol", "float", (26, 26), BlockingConfig(bT=4, bS=(18,)), 6),
+    ],
+)
+def test_blocked_executor_matches_seed_bitwise(name, dtype, interior, config, time_steps):
+    pattern = load_pattern(name, dtype)
+    grid = GridSpec(interior, time_steps)
+    initial = make_initial_grid(pattern, grid, seed=7)
+    executor = BlockedStencilExecutor(pattern, grid, config)
+    new_result = executor.run(initial)
+    seed_result = _seed_blocked_run(executor, initial, time_steps)
+    assert new_result.dtype == seed_result.dtype
+    assert np.array_equal(new_result, seed_result)
+
+
+def test_reference_executor_double_buffered_matches_stepwise():
+    pattern = load_pattern("j2d5pt", "float")
+    grid = GridSpec((20, 20), 6)
+    initial = make_initial_grid(pattern, grid, seed=3)
+    executor = ReferenceExecutor(pattern)
+    stepped = initial.astype(executor.dtype, copy=True)
+    for _ in range(6):
+        stepped = executor.step(stepped)
+    assert np.array_equal(executor.run(initial, 6), stepped)
+
+
+def test_blocked_executor_zero_steps_returns_copy():
+    pattern = load_pattern("j2d5pt", "float")
+    grid = GridSpec((16, 16), 0)
+    initial = make_initial_grid(pattern, grid, seed=0)
+    executor = BlockedStencilExecutor(pattern, grid, BlockingConfig(bT=2, bS=(12,)))
+    result = executor.run(initial, 0)
+    assert result is not initial
+    assert np.array_equal(result, initial)
+
+
+# ---------------------------------------------------------------------------
+# max_relative_error: single-pass semantics and NaN guards
+# ---------------------------------------------------------------------------
+
+
+def test_max_relative_error_matches_direct_formula():
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(37, 53)).astype(np.float64)
+    b = a + rng.normal(scale=1e-9, size=a.shape)
+    denom = np.maximum(np.abs(a), np.abs(b))
+    denom = np.where(denom == 0, 1.0, denom)
+    expected = float(np.max(np.abs(a - b) / denom))
+    assert max_relative_error(a, b) == pytest.approx(expected, rel=1e-12)
+
+
+def test_max_relative_error_handles_zeros_and_shape_mismatch():
+    a = np.zeros(5)
+    assert max_relative_error(a, a) == 0.0
+    with pytest.raises(ValueError):
+        max_relative_error(np.zeros(3), np.zeros(4))
+
+
+def test_max_relative_error_nan_guard():
+    a = np.array([1.0, np.nan, 2.0])
+    matching = np.array([1.0, np.nan, 2.0])
+    assert max_relative_error(a, matching) == 0.0
+    mismatched = np.array([1.0, 5.0, 2.0])
+    assert max_relative_error(a, mismatched) == float("inf")
+
+
+def test_max_relative_error_streams_large_input():
+    rng = np.random.default_rng(1)
+    a = rng.uniform(1.0, 2.0, size=1 << 17).astype(np.float32)
+    b = a.copy()
+    b[-1] *= 1.5
+    result = max_relative_error(a, b)
+    assert 0.3 < result < 0.4
