@@ -1,51 +1,103 @@
 """Table 5: tuned AN5D configuration, measured and model GFLOP/s per stencil.
 
+Since the campaign service landed, this bench runs through it: each
+(GPU, dtype) sweep is a campaign against a fresh result store, run twice —
+once cold (every tuning job simulated) and once warm (every job answered
+from the store).  Both timings land in ``BENCH_campaign.json`` at the repo
+root, so the cache's effect on the paper's heaviest artifact is tracked from
+PR to PR.
+
 The default run covers the Tesla V100 in single and double precision for all
 21 benchmarks; set ``AN5D_BENCH_FULL=1`` to add the P100 columns as well.
 """
 
 from __future__ import annotations
 
+import json
+import platform
+from datetime import datetime, timezone
+from pathlib import Path
+
 import pytest
 
-from benchmarks.conftest import FULL_SWEEP, evaluation_grid, format_table, report
-from repro.stencils.library import BENCHMARKS, load_pattern
-from repro.tuning.autotuner import AutoTuner
+from benchmarks.conftest import FULL_SWEEP, format_table, report
+from repro.campaign import CampaignScheduler, CampaignSpec, ResultStore
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_CAMPAIGN_JSON = REPO_ROOT / "BENCH_campaign.json"
 
 GPUS = ("V100", "P100") if FULL_SWEEP else ("V100",)
 DTYPES = ("float", "double")
 
 
-def tune_all(gpu: str, dtype: str):
-    tuner = AutoTuner(gpu, top_k=3)
+def run_campaign(gpu: str, dtype: str, store_path: Path):
+    """One Table-5 campaign: all benchmarks on one GPU in one precision."""
+    spec = CampaignSpec(gpus=(gpu,), dtypes=(dtype,), kinds=("tune",), top_k=3)
+    with ResultStore(store_path) as store:
+        cold = CampaignScheduler(spec, store).run()
+        warm = CampaignScheduler(spec, store).run()
+        results = store.query(kind="tune", gpu=gpu, dtype=dtype, status="ok")
+    return cold, warm, results
+
+
+def result_rows(results):
     rows = []
-    for name, benchmark in BENCHMARKS.items():
-        pattern = load_pattern(name, dtype)
-        result = tuner.tune(pattern, evaluation_grid(benchmark.ndim))
-        config = result.best_config
+    for result in results:
+        payload = result.payload
         rows.append(
             (
-                name,
-                config.bT,
-                "x".join(str(v) for v in config.bS),
-                config.hS if config.hS is not None else "-",
-                config.register_limit if config.register_limit is not None else "-",
-                round(result.best.measured_gflops),
-                round(result.best.predicted_gflops),
-                f"{result.model_accuracy:.2f}",
+                result.pattern,
+                payload["bT"],
+                "x".join(str(v) for v in payload["bS"]),
+                payload["hS"] if payload["hS"] is not None else "-",
+                payload["regs"] if payload["regs"] is not None else "-",
+                round(payload["tuned_gflops"]),
+                round(payload["model_gflops"]),
+                f"{payload['model_accuracy']:.2f}",
             )
         )
     return rows
 
 
+def record_campaign_timing(label: str, cold, warm) -> None:
+    """Merge one sweep's cold/warm timings into BENCH_campaign.json."""
+    if BENCH_CAMPAIGN_JSON.exists():
+        document = json.loads(BENCH_CAMPAIGN_JSON.read_text())
+    else:
+        document = {"benchmark": "campaign_table5", "sweeps": {}}
+    document["generated_at"] = datetime.now(timezone.utc).isoformat()
+    document["platform"] = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    document["sweeps"][label] = {
+        "jobs": cold.total,
+        "cold_s": round(cold.duration_s, 3),
+        "warm_s": round(warm.duration_s, 3),
+        "warm_cache_hit_rate": warm.cache_hit_rate,
+        "speedup": round(cold.duration_s / warm.duration_s, 1)
+        if warm.duration_s > 0
+        else None,
+    }
+    BENCH_CAMPAIGN_JSON.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
 @pytest.mark.parametrize("gpu", GPUS)
 @pytest.mark.parametrize("dtype", DTYPES)
-def test_table5_tuned_configurations(benchmark, gpu, dtype):
-    rows = benchmark.pedantic(tune_all, args=(gpu, dtype), rounds=1, iterations=1)
+def test_table5_tuned_configurations(benchmark, tmp_path, gpu, dtype):
+    cold, warm, results = benchmark.pedantic(
+        run_campaign, args=(gpu, dtype, tmp_path / "table5.sqlite"), rounds=1, iterations=1
+    )
+    rows = result_rows(results)
     table = format_table(
         ["pattern", "bT", "bS", "hS", "regs", "Tuned GFLOP/s", "Model GFLOP/s", "accuracy"], rows
     )
     report(f"table5_{gpu}_{dtype}", f"Table 5: AN5D tuned configurations ({gpu}, {dtype})", table)
+    record_campaign_timing(f"{gpu}_{dtype}", cold, warm)
+
+    # The campaign layer must answer the repeated sweep from the store.
+    assert cold.ok and cold.executed == cold.total == len(rows)
+    assert warm.cached == warm.total and warm.cache_hit_rate >= 0.95
 
     by_name = {row[0]: row for row in rows}
 

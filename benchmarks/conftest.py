@@ -53,20 +53,23 @@ def report(name: str, title: str, text: str) -> None:
 @pytest.fixture(scope="session")
 def grid_2d():
     """The paper's 2D evaluation grid (Section 6.1)."""
-    from repro.ir.stencil import GridSpec
-
-    return GridSpec((16384, 16384), 1000)
+    return evaluation_grid(2)
 
 
 @pytest.fixture(scope="session")
 def grid_3d():
     """The paper's 3D evaluation grid (Section 6.1)."""
-    from repro.ir.stencil import GridSpec
-
-    return GridSpec((512, 512, 512), 1000)
+    return evaluation_grid(3)
 
 
 def evaluation_grid(ndim: int):
     from repro.ir.stencil import GridSpec
+    from repro.stencils.library import (
+        DEFAULT_2D_GRID,
+        DEFAULT_3D_GRID,
+        DEFAULT_TIME_STEPS,
+    )
 
-    return GridSpec((16384, 16384) if ndim == 2 else (512, 512, 512), 1000)
+    return GridSpec(
+        DEFAULT_2D_GRID if ndim == 2 else DEFAULT_3D_GRID, DEFAULT_TIME_STEPS
+    )

@@ -16,6 +16,7 @@ Typical use::
 
 from __future__ import annotations
 
+from pathlib import Path
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple, Union
 
@@ -275,6 +276,85 @@ def baseline(
     if key in ("loop", "loop_tiling", "ppcg"):
         return LoopTilingBaseline(spec).simulate(resolved, grid_spec)
     raise ValueError(f"unknown baseline framework {framework!r}")
+
+
+# ---------------------------------------------------------------------------
+# Campaigns (batch service over the benchmark x GPU matrix)
+# ---------------------------------------------------------------------------
+
+
+def campaign(
+    benchmarks: Optional[Sequence[str]] = None,
+    gpus: Sequence[str] = ("V100",),
+    dtypes: Sequence[str] = ("float",),
+    kinds: Sequence[str] = ("tune",),
+    store: Union[str, Path, "ResultStore"] = "campaign.sqlite",
+    workers: int = 1,
+    time_steps: int = 1000,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    shards: int = 1,
+    shard_index: int = 0,
+    top_k: int = 5,
+    progress=None,
+) -> "CampaignOutcome":
+    """Run (or resume) a campaign over the benchmark x GPU x dtype matrix.
+
+    Jobs whose results are already in the ``store`` are not re-run; each new
+    result is committed the moment it finishes, so an interrupted campaign
+    resumes where it stopped.  ``benchmarks=None`` means all of Table 3.
+    """
+    from repro.campaign import CampaignScheduler, CampaignSpec, ResultStore
+
+    spec = CampaignSpec(
+        benchmarks=tuple(benchmarks or ()),
+        gpus=tuple(gpus),
+        dtypes=tuple(dtypes),
+        kinds=tuple(kinds),
+        time_steps=time_steps,
+        top_k=top_k,
+    )
+    owns_store = not isinstance(store, ResultStore)
+    result_store = ResultStore(store) if owns_store else store
+    try:
+        scheduler = CampaignScheduler(
+            spec,
+            result_store,
+            workers=workers,
+            timeout=timeout,
+            retries=retries,
+            shards=shards,
+            shard_index=shard_index,
+        )
+        return scheduler.run(progress=progress)
+    finally:
+        if owns_store:
+            result_store.close()
+
+
+def campaign_report(
+    store: Union[str, Path, "ResultStore"],
+    report: str = "table5",
+    **options,
+) -> "ResultTable":
+    """Render a report (``table5``/``leaderboard``/``accuracy``/``summary``)
+    from a campaign store."""
+    from repro.campaign import ResultStore
+    from repro.campaign.report import REPORTS
+
+    try:
+        builder = REPORTS[report]
+    except KeyError:
+        raise ValueError(
+            f"unknown report {report!r}; available: {', '.join(REPORTS)}"
+        ) from None
+    owns_store = not isinstance(store, ResultStore)
+    result_store = ResultStore(store) if owns_store else store
+    try:
+        return builder(result_store, **options)
+    finally:
+        if owns_store:
+            result_store.close()
 
 
 def execution_summary(

@@ -1,0 +1,49 @@
+"""Campaign service: batch evaluation across the benchmark x GPU matrix.
+
+The paper's headline artifact (Table 5) is the product of thousands of
+individual tuning runs — every stencil, on every GPU, in both precisions.
+This package turns the one-shot ``tune()`` / ``exhaustive()`` entry points
+into a batch service with durable state:
+
+``jobs``
+    The job-spec model: one :class:`~repro.campaign.jobs.JobSpec` per
+    (kind, stencil, GPU, dtype, grid) cell, with a deterministic
+    content-address so identical work is never repeated, and
+    :class:`~repro.campaign.jobs.CampaignSpec` which expands a campaign
+    ("all benchmarks x {P100, V100} x {float, double}") into jobs.
+``store``
+    A SQLite-backed, content-addressed result store.  Every finished job is
+    committed immediately, so a killed campaign resumes where it stopped.
+``scheduler``
+    A sharded scheduler that dedupes a campaign against the store and fans
+    the remaining jobs out over a ``multiprocessing`` pool with per-job
+    timeouts and retry-on-failure.
+``report``
+    Leaderboards, Table-5-style matrices and model-accuracy summaries
+    rendered straight from the store through :class:`repro.reporting.ResultTable`.
+"""
+
+from repro.campaign.jobs import JOB_KINDS, CampaignSpec, JobSpec, run_job
+from repro.campaign.report import (
+    accuracy_summary,
+    campaign_summary,
+    leaderboard,
+    table5_matrix,
+)
+from repro.campaign.scheduler import CampaignOutcome, CampaignScheduler
+from repro.campaign.store import ResultStore, StoredResult
+
+__all__ = [
+    "JOB_KINDS",
+    "CampaignOutcome",
+    "CampaignScheduler",
+    "CampaignSpec",
+    "JobSpec",
+    "ResultStore",
+    "StoredResult",
+    "accuracy_summary",
+    "campaign_summary",
+    "leaderboard",
+    "run_job",
+    "table5_matrix",
+]

@@ -1,0 +1,368 @@
+"""Job specifications for campaign runs.
+
+A :class:`JobSpec` is a fully serialisable description of one unit of work:
+"tune j2d5pt for V100 in double precision on the paper's grid".  Specs carry
+only primitives (names, tuples, numbers) so they pickle cheaply into worker
+processes and hash deterministically; patterns, GPU specs and grids are
+resolved inside the worker.
+
+The content address (:meth:`JobSpec.key`) is a SHA-256 over the canonical
+JSON encoding of the spec plus the code version, so a result computed by an
+older incompatible version of the library is never mistaken for current.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import repro
+from repro.core.config import BlockingConfig
+from repro.ir.stencil import GridSpec
+from repro.model.gpu_specs import GPUS, get_gpu
+from repro.stencils.library import (
+    BENCHMARKS,
+    DEFAULT_2D_GRID,
+    DEFAULT_3D_GRID,
+    DEFAULT_TIME_STEPS,
+    get_benchmark,
+    load_pattern,
+)
+
+#: The kinds of work a campaign can schedule.
+JOB_KINDS: Tuple[str, ...] = ("tune", "exhaustive", "verify", "baseline", "predict")
+
+#: Baseline frameworks expanded by the ``baseline`` job kind.
+BASELINE_FRAMEWORKS: Tuple[str, ...] = ("loop", "hybrid", "stencilgen")
+
+#: Small grids used by ``verify`` jobs — functional verification runs the
+#: NumPy executors, which would never finish on the paper's full grids.
+VERIFY_GRID_2D: Tuple[int, ...] = (96, 96)
+VERIFY_GRID_3D: Tuple[int, ...] = (32, 48, 48)
+VERIFY_TIME_STEPS = 8
+
+
+def _canonical(value: object) -> object:
+    """Make a value JSON-canonical (tuples become lists, keys sorted later)."""
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    return value
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One schedulable unit of campaign work.
+
+    ``params`` holds kind-specific settings (``top_k`` for tuning, blocking
+    parameters for verify/predict, the framework name for baselines) as a
+    sorted tuple of key/value pairs so the spec stays hashable.
+    """
+
+    kind: str
+    pattern: str
+    gpu: str
+    dtype: str
+    interior: Tuple[int, ...]
+    time_steps: int
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ValueError(f"unknown job kind {self.kind!r}; expected one of {JOB_KINDS}")
+        object.__setattr__(self, "interior", tuple(int(v) for v in self.interior))
+        object.__setattr__(
+            self, "params", tuple(sorted((str(k), _freeze(v)) for k, v in self.params))
+        )
+
+    # -- identity ------------------------------------------------------------
+    def params_dict(self) -> Dict[str, object]:
+        return {k: v for k, v in self.params}
+
+    def canonical(self, code_version: Optional[str] = None) -> str:
+        """Canonical JSON encoding used for content addressing."""
+        payload = {
+            "kind": self.kind,
+            "pattern": self.pattern,
+            "gpu": self.gpu,
+            "dtype": self.dtype,
+            "interior": list(self.interior),
+            "time_steps": self.time_steps,
+            "params": _canonical(self.params_dict()),
+            "version": code_version if code_version is not None else repro.__version__,
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def key(self, code_version: Optional[str] = None) -> str:
+        """Deterministic content address of this job."""
+        return hashlib.sha256(self.canonical(code_version).encode()).hexdigest()
+
+    def shard(self, shards: int) -> int:
+        """Stable shard assignment in ``[0, shards)``."""
+        return int(self.key()[:8], 16) % max(1, shards)
+
+    def grid(self) -> GridSpec:
+        return GridSpec(self.interior, self.time_steps)
+
+    def describe(self) -> str:
+        grid = "x".join(str(v) for v in self.interior)
+        extra = ""
+        framework = self.params_dict().get("framework")
+        if framework:
+            extra = f" [{framework}]"
+        return f"{self.kind} {self.pattern} on {self.gpu}/{self.dtype} ({grid}){extra}"
+
+
+def _freeze(value: object) -> object:
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def _canonical_gpu_name(name: str) -> str:
+    """The registry's short name ("V100") for any accepted alias."""
+    spec = get_gpu(name)  # raises KeyError for unknown GPUs
+    for short_name, registered in GPUS.items():
+        if registered is spec:
+            return short_name
+    return name  # pragma: no cover — every registered spec has a short name
+
+
+# ---------------------------------------------------------------------------
+# Job execution
+# ---------------------------------------------------------------------------
+
+
+def _json_safe(value: object) -> object:
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, float):
+        # Canonical float formatting keeps exports byte-stable across runs.
+        return round(value, 10)
+    return value
+
+
+def _run_tune(spec: JobSpec) -> Dict[str, object]:
+    from repro.tuning.autotuner import AutoTuner
+
+    params = spec.params_dict()
+    pattern = load_pattern(spec.pattern, spec.dtype)
+    tuner = AutoTuner(spec.gpu, top_k=int(params.get("top_k", 5)))
+    result = tuner.tune(pattern, spec.grid())
+    config = result.best_config
+    return {
+        "bT": config.bT,
+        "bS": list(config.bS),
+        "hS": config.hS,
+        "regs": config.register_limit,
+        "tuned_gflops": result.best.measured_gflops,
+        "model_gflops": result.best.predicted_gflops,
+        "model_accuracy": result.model_accuracy,
+        "explored": result.explored,
+        "pruned_to": result.pruned_to,
+    }
+
+
+def _run_exhaustive(spec: JobSpec) -> Dict[str, object]:
+    from repro.tuning.exhaustive import exhaustive_search
+
+    pattern = load_pattern(spec.pattern, spec.dtype)
+    result = exhaustive_search(pattern, spec.grid(), spec.gpu)
+    config = result.best_config
+    return {
+        "bT": config.bT,
+        "bS": list(config.bS),
+        "hS": config.hS,
+        "regs": config.register_limit,
+        "best_gflops": result.best_gflops,
+        "evaluated": result.evaluated,
+    }
+
+
+def _run_verify(spec: JobSpec) -> Dict[str, object]:
+    from repro.sim.executor import verify_blocking
+
+    params = spec.params_dict()
+    pattern = load_pattern(spec.pattern, spec.dtype)
+    config = BlockingConfig(
+        bT=int(params.get("bT", 4)),
+        bS=tuple(params.get("bS", (32,))),
+        hS=params.get("hS"),
+    )
+    result = verify_blocking(pattern, spec.grid(), config, seed=int(params.get("seed", 0)))
+    return {
+        "bT": config.bT,
+        "bS": list(config.bS),
+        "matches": bool(result.matches),
+        "max_relative_error": result.max_relative_error,
+    }
+
+
+def _run_baseline(spec: JobSpec) -> Dict[str, object]:
+    from repro.baselines import HybridTilingBaseline, LoopTilingBaseline, StencilGenBaseline
+
+    params = spec.params_dict()
+    framework = str(params.get("framework", "stencilgen"))
+    pattern = load_pattern(spec.pattern, spec.dtype)
+    gpu = get_gpu(spec.gpu)
+    simulators = {
+        "loop": LoopTilingBaseline,
+        "hybrid": HybridTilingBaseline,
+        "stencilgen": StencilGenBaseline,
+    }
+    if framework not in simulators:
+        raise ValueError(f"unknown baseline framework {framework!r}")
+    result = simulators[framework](gpu).simulate(pattern, spec.grid())
+    return {"framework": framework, "gflops": result.gflops, "time_s": result.time_s}
+
+
+def _run_predict(spec: JobSpec) -> Dict[str, object]:
+    from repro.model.roofline import predict_performance
+    from repro.sim.timing import simulate_performance
+
+    params = spec.params_dict()
+    pattern = load_pattern(spec.pattern, spec.dtype)
+    config = BlockingConfig(
+        bT=int(params.get("bT", 4)),
+        bS=tuple(params.get("bS", (256,) if pattern.ndim == 2 else (32, 32))),
+        hS=params.get("hS"),
+        register_limit=params.get("regs"),
+    )
+    gpu = get_gpu(spec.gpu)
+    grid = spec.grid()
+    predicted = predict_performance(pattern, grid, config, gpu)
+    simulated = simulate_performance(pattern, grid, config, spec.gpu)
+    return {
+        "bT": config.bT,
+        "bS": list(config.bS),
+        "hS": config.hS,
+        "regs": config.register_limit,
+        "model_gflops": predicted.gflops,
+        "simulated_gflops": simulated.gflops,
+        "model_bottleneck": predicted.bottleneck,
+        "simulated_bottleneck": simulated.bottleneck,
+    }
+
+
+_RUNNERS = {
+    "tune": _run_tune,
+    "exhaustive": _run_exhaustive,
+    "verify": _run_verify,
+    "baseline": _run_baseline,
+    "predict": _run_predict,
+}
+
+
+def run_job(spec: JobSpec) -> Dict[str, object]:
+    """Execute one job and return its JSON-safe result payload."""
+    payload = _RUNNERS[spec.kind](spec)
+    return {str(k): _json_safe(v) for k, v in payload.items()}
+
+
+# ---------------------------------------------------------------------------
+# Campaign expansion
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative campaign: benchmarks x GPUs x dtypes x job kinds.
+
+    ``expand()`` produces the full deterministic job list; the scheduler
+    dedupes it against the result store before running anything.
+    """
+
+    benchmarks: Tuple[str, ...] = ()
+    gpus: Tuple[str, ...] = ("V100",)
+    dtypes: Tuple[str, ...] = ("float",)
+    kinds: Tuple[str, ...] = ("tune",)
+    time_steps: int = DEFAULT_TIME_STEPS
+    interior_2d: Tuple[int, ...] = DEFAULT_2D_GRID
+    interior_3d: Tuple[int, ...] = DEFAULT_3D_GRID
+    top_k: int = 5
+
+    def __post_init__(self) -> None:
+        benchmarks = tuple(self.benchmarks) or tuple(BENCHMARKS)
+        object.__setattr__(self, "benchmarks", benchmarks)
+        # Normalise GPU aliases ("v100", "volta") to the registry's canonical
+        # short name so equivalent campaigns produce identical job keys.
+        object.__setattr__(
+            self, "gpus", tuple(_canonical_gpu_name(gpu) for gpu in self.gpus)
+        )
+        object.__setattr__(self, "dtypes", tuple(self.dtypes))
+        object.__setattr__(self, "kinds", tuple(self.kinds))
+        for name in self.benchmarks:
+            get_benchmark(name)  # raises KeyError with the available names
+        for dtype in self.dtypes:
+            if dtype not in ("float", "double"):
+                raise ValueError(f"unknown dtype {dtype!r}; expected 'float' or 'double'")
+        for kind in self.kinds:
+            if kind not in JOB_KINDS:
+                raise ValueError(f"unknown job kind {kind!r}; expected one of {JOB_KINDS}")
+
+    def _interior(self, ndim: int) -> Tuple[int, ...]:
+        return tuple(self.interior_2d) if ndim == 2 else tuple(self.interior_3d)
+
+    def expand(self) -> List[JobSpec]:
+        """All unique jobs of the campaign, in deterministic declaration order.
+
+        Repeated matrix entries (``gpus=("V100", "v100")``) collapse to one
+        job: expansion dedupes by content address, so the scheduler's
+        totals/cache accounting always refer to distinct work.
+        """
+        jobs: List[JobSpec] = []
+        seen: set = set()
+        for kind in self.kinds:
+            for name in self.benchmarks:
+                benchmark = get_benchmark(name)
+                for gpu in self.gpus:
+                    for dtype in self.dtypes:
+                        for job in self._jobs_for(kind, name, benchmark.ndim, gpu, dtype):
+                            key = job.key()
+                            if key not in seen:
+                                seen.add(key)
+                                jobs.append(job)
+        return jobs
+
+    def _jobs_for(
+        self, kind: str, name: str, ndim: int, gpu: str, dtype: str
+    ) -> List[JobSpec]:
+        if kind == "verify":
+            interior = VERIFY_GRID_2D if ndim == 2 else VERIFY_GRID_3D
+            params = (("bT", 4), ("bS", (32,))) if ndim == 2 else (("bT", 2), ("bS", (16, 16)))
+            return [
+                JobSpec(
+                    kind, name, gpu, dtype, interior, VERIFY_TIME_STEPS, params
+                )
+            ]
+        interior = self._interior(ndim)
+        if kind == "baseline":
+            return [
+                JobSpec(
+                    kind, name, gpu, dtype, interior, self.time_steps,
+                    (("framework", framework),),
+                )
+                for framework in BASELINE_FRAMEWORKS
+            ]
+        if kind == "tune":
+            return [
+                JobSpec(
+                    kind, name, gpu, dtype, interior, self.time_steps,
+                    (("top_k", self.top_k),),
+                )
+            ]
+        return [JobSpec(kind, name, gpu, dtype, interior, self.time_steps)]
+
+    def size(self) -> int:
+        return len(self.expand())
+
+    def describe(self) -> str:
+        return (
+            f"{len(self.benchmarks)} benchmark(s) x {len(self.gpus)} GPU(s) x "
+            f"{len(self.dtypes)} dtype(s) x kinds {', '.join(self.kinds)}"
+        )

@@ -1,0 +1,140 @@
+"""Reports rendered straight from the campaign store.
+
+Everything here returns :class:`repro.reporting.ResultTable`, so each report
+can be printed, exported to CSV/JSON/JSONL/Markdown or diffed against a
+previous campaign without touching the scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.campaign.store import ResultStore, StoredResult
+from repro.reporting import ResultTable
+
+
+def _format_config(payload: Dict[str, object]) -> str:
+    bs = payload.get("bS")
+    bs_text = "x".join(str(v) for v in bs) if isinstance(bs, list) else str(bs)
+    hs = payload.get("hS")
+    regs = payload.get("regs")
+    return (
+        f"bT={payload.get('bT')} bS={bs_text} "
+        f"hS={hs if hs is not None else 'full'} regs={regs if regs is not None else '-'}"
+    )
+
+
+def leaderboard(
+    store: ResultStore,
+    kind: str = "tune",
+    gpu: Optional[str] = None,
+    dtype: Optional[str] = None,
+    top: int = 10,
+) -> ResultTable:
+    """The best-performing stored results of one kind, fastest first."""
+    metric = {"tune": "tuned_gflops", "exhaustive": "best_gflops", "baseline": "gflops",
+              "predict": "simulated_gflops"}.get(kind)
+    if metric is None:
+        raise ValueError(f"no leaderboard metric for job kind {kind!r}")
+    results = store.query(kind=kind, gpu=gpu, dtype=dtype, status="ok")
+    results.sort(
+        key=lambda r: (-float(r.payload.get(metric, 0.0)), r.pattern, r.gpu, r.dtype)
+    )
+    table = ResultTable(
+        f"Campaign leaderboard ({kind})",
+        ["rank", "pattern", "gpu", "dtype", "gflops", "config"],
+    )
+    for rank, result in enumerate(results[:top], start=1):
+        table.add_row(
+            rank,
+            result.pattern,
+            result.gpu,
+            result.dtype,
+            round(float(result.payload.get(metric, 0.0)), 1),
+            _format_config(result.payload),
+        )
+    return table
+
+
+def _matrix_columns(results: List[StoredResult]) -> List[Tuple[str, str]]:
+    columns: List[Tuple[str, str]] = []
+    for result in results:
+        cell = (result.gpu, result.dtype)
+        if cell not in columns:
+            columns.append(cell)
+    columns.sort()
+    return columns
+
+
+def table5_matrix(store: ResultStore, value: str = "tuned_gflops") -> ResultTable:
+    """Table-5-style matrix: one row per stencil, one column per GPU x dtype.
+
+    ``value`` selects the cell contents: any tuning payload field
+    (``tuned_gflops``, ``model_gflops``, ``model_accuracy``) or ``"config"``
+    for the tuned blocking parameters.
+    """
+    results = store.query(kind="tune", status="ok")
+    columns = _matrix_columns(results)
+    cells: Dict[Tuple[str, str, str], object] = {}
+    patterns: List[str] = []
+    for result in results:
+        if result.pattern not in patterns:
+            patterns.append(result.pattern)
+        if value == "config":
+            cell: object = _format_config(result.payload)
+        else:
+            cell = result.payload.get(value)
+            if isinstance(cell, float):
+                cell = round(cell, 3 if value == "model_accuracy" else 1)
+        cells[(result.pattern, result.gpu, result.dtype)] = cell
+    headers = ["pattern", *[f"{gpu}/{dtype}" for gpu, dtype in columns]]
+    table = ResultTable(f"Table 5 matrix ({value})", headers)
+    for pattern in sorted(patterns):
+        table.add_row(
+            pattern, *[cells.get((pattern, gpu, dtype)) for gpu, dtype in columns]
+        )
+    return table
+
+
+def accuracy_summary(store: ResultStore) -> ResultTable:
+    """Model-vs-simulated accuracy per GPU x dtype (the paper's Section 7.2)."""
+    results = store.query(kind="tune", status="ok")
+    groups: Dict[Tuple[str, str], List[float]] = {}
+    for result in results:
+        accuracy = result.payload.get("model_accuracy")
+        if accuracy is None:
+            continue
+        groups.setdefault((result.gpu, result.dtype), []).append(float(accuracy))
+    table = ResultTable(
+        "Model accuracy by GPU and dtype",
+        ["gpu", "dtype", "stencils", "mean", "min", "max"],
+    )
+    for (gpu, dtype), values in sorted(groups.items()):
+        table.add_row(
+            gpu,
+            dtype,
+            len(values),
+            round(sum(values) / len(values), 3),
+            round(min(values), 3),
+            round(max(values), 3),
+        )
+    return table
+
+
+def campaign_summary(store: ResultStore) -> ResultTable:
+    """Store occupancy: how many results of each kind and status."""
+    table = ResultTable("Campaign store summary", ["kind", "status", "results"])
+    rows: Dict[Tuple[str, str], int] = {}
+    for result in store.query():
+        rows[(result.kind, result.status)] = rows.get((result.kind, result.status), 0) + 1
+    for (kind, status), count in sorted(rows.items()):
+        table.add_row(kind, status, count)
+    return table
+
+
+REPORTS = {
+    "leaderboard": leaderboard,
+    "table5": table5_matrix,
+    "accuracy": accuracy_summary,
+    "summary": campaign_summary,
+}

@@ -1,0 +1,229 @@
+"""Sharded campaign scheduler.
+
+Expands a :class:`~repro.campaign.jobs.CampaignSpec` into jobs, drops the
+ones the store already answers (content-addressed dedupe), and runs the rest
+— inline, or fanned out over a ``multiprocessing`` pool.  Every result is
+committed to the store the moment it arrives, so killing a campaign loses at
+most the in-flight jobs; the next run picks up exactly where it stopped.
+
+Sharding splits one campaign across independent scheduler instances (e.g.
+separate machines sharing nothing but the final store merge): each job has a
+stable shard assignment derived from its content address, and a scheduler
+configured as shard ``i`` of ``n`` only ever touches its own slice.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.campaign.jobs import CampaignSpec, JobSpec, run_job
+from repro.campaign.store import ResultStore
+
+
+class JobTimeout(Exception):
+    """A job exceeded the scheduler's per-job time budget."""
+
+
+def _alarm_supported() -> bool:
+    return hasattr(signal, "SIGALRM") and threading.current_thread() is threading.main_thread()
+
+
+def _execute_with_timeout(spec: JobSpec, timeout: Optional[float]) -> Dict[str, object]:
+    """Run one job, enforcing the timeout with SIGALRM where available.
+
+    Worker processes run jobs on their main thread, so the alarm-based
+    timeout works both inline and inside the pool; on platforms without
+    SIGALRM the job simply runs to completion.
+    """
+    if not timeout or not _alarm_supported():
+        return run_job(spec)
+
+    def _on_alarm(signum: int, frame: object) -> None:
+        raise JobTimeout(f"job exceeded {timeout:.1f}s: {spec.describe()}")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return run_job(spec)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+#: (job index, status, payload-or-error, elapsed seconds)
+_WorkerResult = Tuple[int, str, Dict[str, object], float]
+
+
+def _pool_worker(args: Tuple[int, JobSpec, Optional[float]]) -> _WorkerResult:
+    index, spec, timeout = args
+    start = time.perf_counter()
+    try:
+        payload = _execute_with_timeout(spec, timeout)
+        return index, "ok", payload, time.perf_counter() - start
+    except Exception as error:  # noqa: BLE001 — every failure becomes a record
+        payload = {
+            "error": f"{type(error).__name__}: {error}",
+            "traceback": traceback.format_exc(limit=8),
+        }
+        return index, "failed", payload, time.perf_counter() - start
+
+
+@dataclass
+class CampaignOutcome:
+    """Summary of one scheduler run."""
+
+    total: int
+    cached: int
+    executed: int
+    failed: int
+    retried: int
+    duration_s: float
+    shards: int = 1
+    shard_index: int = 0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cached / self.total if self.total else 1.0
+
+    @property
+    def ok(self) -> bool:
+        return self.failed == 0
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "total": self.total,
+            "cached": self.cached,
+            "executed": self.executed,
+            "failed": self.failed,
+            "retried": self.retried,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "duration_s": round(self.duration_s, 3),
+            "shard": f"{self.shard_index}/{self.shards}",
+        }
+
+
+ProgressCallback = Callable[[JobSpec, str], None]
+
+
+class CampaignScheduler:
+    """Plan and run one campaign (or one shard of it) against a store."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: ResultStore,
+        workers: int = 1,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        shards: int = 1,
+        shard_index: int = 0,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        if not 0 <= shard_index < shards:
+            raise ValueError(f"shard_index must lie in [0, {shards})")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self.spec = spec
+        self.store = store
+        self.workers = max(1, workers)
+        self.timeout = timeout
+        self.retries = retries
+        self.shards = shards
+        self.shard_index = shard_index
+
+    # -- planning --------------------------------------------------------------
+    def jobs(self) -> List[JobSpec]:
+        """This shard's slice of the campaign, in deterministic order."""
+        expanded = self.spec.expand()
+        if self.shards == 1:
+            return expanded
+        return [job for job in expanded if job.shard(self.shards) == self.shard_index]
+
+    def plan(self) -> Tuple[List[JobSpec], List[JobSpec]]:
+        """Split this shard's jobs into (already answered, still pending)."""
+        cached: List[JobSpec] = []
+        pending: List[JobSpec] = []
+        for job in self.jobs():
+            (cached if self.store.has_ok(job) else pending).append(job)
+        return cached, pending
+
+    # -- execution -------------------------------------------------------------
+    def _run_batch(
+        self, jobs: List[JobSpec], progress: Optional[ProgressCallback]
+    ) -> List[JobSpec]:
+        """Run one batch, committing incrementally; return the failed jobs."""
+        failed: List[JobSpec] = []
+        if not jobs:
+            return failed
+        if self.workers > 1 and len(jobs) > 1:
+            results = self._map_parallel(jobs)
+        else:
+            results = map(_pool_worker, ((i, job, self.timeout) for i, job in enumerate(jobs)))
+        for index, status, payload, elapsed in results:
+            job = jobs[index]
+            self.store.put(job, payload, status=status, elapsed_s=elapsed)
+            if status != "ok":
+                failed.append(job)
+            if progress is not None:
+                progress(job, status)
+        return failed
+
+    def _map_parallel(self, jobs: List[JobSpec]):
+        tasks = [(i, job, self.timeout) for i, job in enumerate(jobs)]
+        try:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context("fork" if "fork" in methods else None)
+            pool = context.Pool(processes=min(self.workers, len(jobs)))
+        except Exception:
+            # No usable pool (sandboxed fork) — run everything inline.
+            yield from map(_pool_worker, tasks)
+            return
+        delivered: set = set()
+        try:
+            with pool:
+                # imap_unordered streams results back as they finish, so the
+                # parent commits each one immediately (resumability).
+                for result in pool.imap_unordered(_pool_worker, tasks, chunksize=1):
+                    delivered.add(result[0])
+                    yield result
+        except Exception:
+            # The pool died mid-sweep (worker OOM-killed, unpicklable result):
+            # finish only the jobs whose results never arrived, inline.
+            yield from map(
+                _pool_worker, (task for task in tasks if task[0] not in delivered)
+            )
+
+    def run(self, progress: Optional[ProgressCallback] = None) -> CampaignOutcome:
+        """Run everything the store cannot already answer."""
+        start = time.perf_counter()
+        cached, pending = self.plan()
+        total = len(cached) + len(pending)
+        executed = len(pending)
+        retried = 0
+
+        failed = self._run_batch(pending, progress)
+        for _ in range(self.retries):
+            if not failed:
+                break
+            retried += len(failed)
+            failed = self._run_batch(failed, progress)
+
+        return CampaignOutcome(
+            total=total,
+            cached=len(cached),
+            executed=executed,
+            failed=len(failed),
+            retried=retried,
+            duration_s=time.perf_counter() - start,
+            shards=self.shards,
+            shard_index=self.shard_index,
+            failures=[job.describe() for job in failed],
+        )

@@ -1,0 +1,327 @@
+"""SQLite-backed, content-addressed result store.
+
+Every campaign job commits its result under the job's deterministic key
+(:meth:`repro.campaign.jobs.JobSpec.key`) the moment it finishes, so a
+killed campaign loses at most the jobs that were mid-flight.  Exports are
+produced in a fixed sort order with timestamps excluded, which makes the
+final artifacts byte-identical whether a campaign ran straight through or
+was interrupted and resumed.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import repro
+from repro.campaign.jobs import JobSpec
+from repro.reporting import ResultTable
+
+#: Bump when the stored payload layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    key          TEXT PRIMARY KEY,
+    kind         TEXT NOT NULL,
+    pattern      TEXT NOT NULL,
+    gpu          TEXT NOT NULL,
+    dtype        TEXT NOT NULL,
+    grid         TEXT NOT NULL,
+    time_steps   INTEGER NOT NULL,
+    code_version TEXT NOT NULL,
+    status       TEXT NOT NULL,
+    payload      TEXT NOT NULL,
+    elapsed_s    REAL NOT NULL DEFAULT 0.0,
+    created_at   REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_results_lookup ON results (kind, pattern, gpu, dtype);
+CREATE TABLE IF NOT EXISTS meta (k TEXT PRIMARY KEY, v TEXT NOT NULL);
+"""
+
+#: Stable export column order shared by every store export.
+EXPORT_COLUMNS = (
+    "key",
+    "kind",
+    "pattern",
+    "gpu",
+    "dtype",
+    "grid",
+    "time_steps",
+    "status",
+    "payload",
+)
+
+
+@dataclass(frozen=True)
+class StoredResult:
+    """One committed job result."""
+
+    key: str
+    kind: str
+    pattern: str
+    gpu: str
+    dtype: str
+    grid: str
+    time_steps: int
+    code_version: str
+    status: str
+    payload: Dict[str, object]
+    elapsed_s: float
+    created_at: float
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def export_record(self) -> Dict[str, object]:
+        """Deterministic record (no timestamps) for diff-able exports."""
+        return {
+            "key": self.key,
+            "kind": self.kind,
+            "pattern": self.pattern,
+            "gpu": self.gpu,
+            "dtype": self.dtype,
+            "grid": self.grid,
+            "time_steps": self.time_steps,
+            "status": self.status,
+            "payload": self.payload,
+        }
+
+
+class ResultStore:
+    """Content-addressed store of campaign results on one SQLite file.
+
+    Pass ``":memory:"`` for an ephemeral in-process store (handy in tests).
+    The store is safe for one writer at a time; the campaign scheduler
+    funnels every worker's result through the parent process, so workers
+    never open the database themselves.
+    """
+
+    def __init__(self, path: Union[str, Path] = "campaign.sqlite") -> None:
+        self.path = str(path)
+        if self.path != ":memory:":
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.executescript(_SCHEMA)
+        self._conn.execute(
+            "INSERT OR IGNORE INTO meta (k, v) VALUES ('schema_version', ?)",
+            (str(SCHEMA_VERSION),),
+        )
+        self._conn.commit()
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- writes ----------------------------------------------------------------
+    def put(
+        self,
+        spec: JobSpec,
+        payload: Dict[str, object],
+        status: str = "ok",
+        elapsed_s: float = 0.0,
+        code_version: Optional[str] = None,
+    ) -> str:
+        """Commit one result immediately (incremental commit = resumability)."""
+        version = code_version if code_version is not None else repro.__version__
+        key = spec.key(version)
+        self._conn.execute(
+            "INSERT OR REPLACE INTO results "
+            "(key, kind, pattern, gpu, dtype, grid, time_steps, code_version, "
+            " status, payload, elapsed_s, created_at) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                key,
+                spec.kind,
+                spec.pattern,
+                spec.gpu,
+                spec.dtype,
+                "x".join(str(v) for v in spec.interior),
+                spec.time_steps,
+                version,
+                status,
+                json.dumps(payload, sort_keys=True, separators=(",", ":")),
+                float(elapsed_s),
+                time.time(),
+            ),
+        )
+        self._conn.commit()
+        return key
+
+    def delete(self, key: str) -> bool:
+        cursor = self._conn.execute("DELETE FROM results WHERE key = ?", (key,))
+        self._conn.commit()
+        return cursor.rowcount > 0
+
+    def purge(self, status: Optional[str] = None) -> int:
+        """Drop rows (all of them, or only those with the given status)."""
+        if status is None:
+            cursor = self._conn.execute("DELETE FROM results")
+        else:
+            cursor = self._conn.execute("DELETE FROM results WHERE status = ?", (status,))
+        self._conn.commit()
+        return cursor.rowcount
+
+    # -- reads -----------------------------------------------------------------
+    def _row_to_result(self, row: Sequence[object]) -> StoredResult:
+        return StoredResult(
+            key=row[0],
+            kind=row[1],
+            pattern=row[2],
+            gpu=row[3],
+            dtype=row[4],
+            grid=row[5],
+            time_steps=row[6],
+            code_version=row[7],
+            status=row[8],
+            payload=json.loads(row[9]),
+            elapsed_s=row[10],
+            created_at=row[11],
+        )
+
+    _SELECT = (
+        "SELECT key, kind, pattern, gpu, dtype, grid, time_steps, code_version, "
+        "status, payload, elapsed_s, created_at FROM results"
+    )
+
+    def get(self, key: str) -> Optional[StoredResult]:
+        row = self._conn.execute(self._SELECT + " WHERE key = ?", (key,)).fetchone()
+        return self._row_to_result(row) if row else None
+
+    def lookup(self, spec: JobSpec, code_version: Optional[str] = None) -> Optional[StoredResult]:
+        return self.get(spec.key(code_version))
+
+    def __contains__(self, key: str) -> bool:
+        row = self._conn.execute("SELECT 1 FROM results WHERE key = ?", (key,)).fetchone()
+        return row is not None
+
+    def has_ok(self, spec: JobSpec, code_version: Optional[str] = None) -> bool:
+        """True when a successful result for this job is already stored."""
+        result = self.lookup(spec, code_version)
+        return result is not None and result.ok
+
+    def count(self, status: Optional[str] = None) -> int:
+        if status is None:
+            return self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+        return self._conn.execute(
+            "SELECT COUNT(*) FROM results WHERE status = ?", (status,)
+        ).fetchone()[0]
+
+    def keys(self) -> List[str]:
+        return [row[0] for row in self._conn.execute("SELECT key FROM results ORDER BY key")]
+
+    def query(
+        self,
+        kind: Optional[str] = None,
+        pattern: Optional[str] = None,
+        gpu: Optional[str] = None,
+        dtype: Optional[str] = None,
+        status: Optional[str] = None,
+    ) -> List[StoredResult]:
+        """Filtered results in deterministic (kind, pattern, gpu, dtype, key) order."""
+        clauses: List[str] = []
+        args: List[object] = []
+        for column, value in (
+            ("kind", kind),
+            ("pattern", pattern),
+            ("gpu", gpu),
+            ("dtype", dtype),
+            ("status", status),
+        ):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                args.append(value)
+        sql = self._SELECT
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY kind, pattern, gpu, dtype, key"
+        return [self._row_to_result(row) for row in self._conn.execute(sql, args)]
+
+    # -- exports ---------------------------------------------------------------
+    def export_records(
+        self,
+        ok_only: bool = True,
+        kind: Optional[str] = None,
+        pattern: Optional[str] = None,
+        gpu: Optional[str] = None,
+        dtype: Optional[str] = None,
+    ) -> List[dict]:
+        """Deterministically ordered export records (timestamps excluded)."""
+        results = self.query(
+            kind=kind, pattern=pattern, gpu=gpu, dtype=dtype,
+            status="ok" if ok_only else None,
+        )
+        return [r.export_record() for r in results]
+
+    def to_table(
+        self, title: str = "Campaign results", **filters: object
+    ) -> ResultTable:
+        records = [
+            {**{k: v for k, v in record.items() if k != "payload"},
+             "payload": json.dumps(record["payload"], sort_keys=True, separators=(",", ":"))}
+            for record in self.export_records(**filters)
+        ]
+        return ResultTable.from_records(title, records, headers=EXPORT_COLUMNS)
+
+    def export_jsonl(
+        self,
+        path: Union[str, Path],
+        records: Optional[List[dict]] = None,
+        **filters: object,
+    ) -> Path:
+        """Write one JSON object per result; sorted, timestamp-free, diff-able.
+
+        Pass ``records`` (from :meth:`export_records`) to reuse an already
+        materialised result set instead of querying again.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if records is None:
+            records = self.export_records(**filters)
+        lines = [
+            json.dumps(record, sort_keys=True, separators=(",", ":"))
+            for record in records
+        ]
+        path.write_text("\n".join(lines) + ("\n" if lines else ""))
+        return path
+
+    def export_json(
+        self,
+        path: Union[str, Path],
+        records: Optional[List[dict]] = None,
+        **filters: object,
+    ) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if records is None:
+            records = self.export_records(**filters)
+        path.write_text(json.dumps({"results": records}, sort_keys=True, indent=2) + "\n")
+        return path
+
+    # -- bookkeeping -----------------------------------------------------------
+    def status_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for status, n in self._conn.execute(
+            "SELECT status, COUNT(*) FROM results GROUP BY status ORDER BY status"
+        ):
+            counts[status] = n
+        return counts
+
+    def kind_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for kind, n in self._conn.execute(
+            "SELECT kind, COUNT(*) FROM results GROUP BY kind ORDER BY kind"
+        ):
+            counts[kind] = n
+        return counts

@@ -17,6 +17,15 @@ Subcommands
     Verify the blocked execution against the NumPy reference.
 ``an5d compare <benchmark> [--gpu V100]``
     Compare AN5D against the baseline frameworks (one Fig. 6 group).
+``an5d campaign run|status|report|export``
+    Batch service: run (or resume) a campaign over the benchmark x GPU
+    matrix against a persistent result store, inspect its progress, render
+    leaderboards/Table-5 matrices, and export diff-able JSONL/CSV artifacts.
+
+Failures exit non-zero: ``1`` for work that ran and failed (verification
+mismatch, failed campaign jobs), ``2`` for requests that could not be
+carried out at all (unknown benchmarks/GPUs/reports, invalid parameters,
+missing files/stores).  Error text goes to stderr.
 """
 
 from __future__ import annotations
@@ -26,8 +35,9 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+import repro
 from repro import api
-from repro.core.config import BlockingConfig
+from repro.core.config import BlockingConfig, ConfigurationError
 from repro.stencils.library import BENCHMARKS, get_benchmark
 
 
@@ -133,12 +143,15 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         time_steps=args.time_steps,
         dtype=args.dtype,
     )
-    status = "OK" if result.matches else "MISMATCH"
-    print(
-        f"{status}: blocked execution vs reference, "
+    message = (
+        f"{'OK' if result.matches else 'MISMATCH'}: blocked execution vs reference, "
         f"max relative error {result.max_relative_error:.3e}"
     )
-    return 0 if result.matches else 1
+    if result.matches:
+        print(message)
+        return 0
+    print(message, file=sys.stderr)
+    return 1
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -158,10 +171,164 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- campaign subcommands ---------------------------------------------------------
+
+
+def _parse_names(text: str) -> tuple[str, ...]:
+    return tuple(part.strip() for part in text.split(",") if part.strip())
+
+
+def _campaign_benchmarks(text: str) -> tuple[str, ...]:
+    names = _parse_names(text)
+    return () if names in ((), ("all",)) else names
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    def progress(job, status):
+        stream = sys.stdout if status == "ok" else sys.stderr
+        print(f"  [{status}] {job.describe()}", file=stream)
+
+    outcome = api.campaign(
+        benchmarks=args.benchmarks,
+        gpus=args.gpus,
+        dtypes=args.dtypes,
+        kinds=args.kinds,
+        store=args.store,
+        workers=args.workers,
+        time_steps=args.time_steps,
+        timeout=args.timeout,
+        retries=args.retries,
+        shards=args.shards,
+        shard_index=args.shard,
+        top_k=args.top_k,
+        progress=progress if args.verbose else None,
+    )
+    for key, value in outcome.as_row().items():
+        print(f"  {key:>14}: {value}")
+    if outcome.failed:
+        for failure in outcome.failures:
+            print(f"error: job failed: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.campaign import ResultStore, campaign_summary
+
+    if not Path(args.store).exists():
+        print(f"error: no campaign store at {args.store!r}", file=sys.stderr)
+        return 2
+    with ResultStore(args.store) as store:
+        print(campaign_summary(store).to_text())
+        failed = store.count("failed")
+    return 1 if failed else 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    if not Path(args.store).exists():
+        print(f"error: no campaign store at {args.store!r}", file=sys.stderr)
+        return 2
+    options = {}
+    if args.report == "leaderboard":
+        options = {"gpu": args.gpu, "dtype": args.dtype, "top": args.top}
+    elif args.report == "table5":
+        options = {"value": args.value}
+    table = api.campaign_report(args.store, report=args.report, **options)
+    if args.output:
+        path = table.save(args.output)
+        print(f"wrote {len(table.rows)} rows to {path}")
+    else:
+        print(table.to_text())
+    return 0
+
+
+def _cmd_campaign_export(args: argparse.Namespace) -> int:
+    from repro.campaign import ResultStore
+
+    if not Path(args.store).exists():
+        print(f"error: no campaign store at {args.store!r}", file=sys.stderr)
+        return 2
+    with ResultStore(args.store) as store:
+        filters = {"kind": args.kind, "ok_only": not args.all}
+        destination = Path(args.output)
+        if destination.suffix in (".jsonl", ".json"):
+            records = store.export_records(**filters)
+            exporter = store.export_jsonl if destination.suffix == ".jsonl" else store.export_json
+            path = exporter(destination, records=records)
+            count = len(records)
+        else:
+            table = store.to_table(**filters)
+            path = table.save(destination)
+            count = len(table.rows)
+    print(f"exported {count} result(s) to {path}")
+    return 0
+
+
+def _add_campaign_parsers(sub: argparse._SubParsersAction) -> None:
+    campaign = sub.add_parser(
+        "campaign", help="batch campaigns over the benchmark x GPU matrix"
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    run_parser = campaign_sub.add_parser("run", help="run or resume a campaign")
+    run_parser.add_argument(
+        "--benchmarks",
+        type=_campaign_benchmarks,
+        default=(),
+        help="comma-separated benchmark names ('all' or omit for every Table 3 stencil)",
+    )
+    run_parser.add_argument("--gpus", type=_parse_names, default=("V100",))
+    run_parser.add_argument("--dtypes", type=_parse_names, default=("float",))
+    run_parser.add_argument(
+        "--kinds",
+        type=_parse_names,
+        default=("tune",),
+        help="job kinds: tune,exhaustive,verify,baseline,predict",
+    )
+    run_parser.add_argument("--store", default="campaign.sqlite")
+    run_parser.add_argument("--workers", type=int, default=1)
+    run_parser.add_argument("--time-steps", type=int, default=1000)
+    run_parser.add_argument("--timeout", type=float, default=None, help="per-job seconds")
+    run_parser.add_argument("--retries", type=int, default=1)
+    run_parser.add_argument("--shards", type=int, default=1)
+    run_parser.add_argument("--shard", type=int, default=0, help="this worker's shard index")
+    run_parser.add_argument("--top-k", type=int, default=5)
+    run_parser.add_argument("--verbose", "-v", action="store_true")
+    run_parser.set_defaults(func=_cmd_campaign_run)
+
+    status_parser = campaign_sub.add_parser("status", help="summarise the result store")
+    status_parser.add_argument("--store", default="campaign.sqlite")
+    status_parser.set_defaults(func=_cmd_campaign_status)
+
+    report_parser = campaign_sub.add_parser("report", help="render a report from the store")
+    report_parser.add_argument("--store", default="campaign.sqlite")
+    report_parser.add_argument(
+        "--report", choices=("table5", "leaderboard", "accuracy", "summary"), default="table5"
+    )
+    report_parser.add_argument("--value", default="tuned_gflops", help="table5 cell field")
+    report_parser.add_argument("--gpu", default=None)
+    report_parser.add_argument("--dtype", default=None)
+    report_parser.add_argument("--top", type=int, default=10)
+    report_parser.add_argument("--output", "-o", help="save as .csv/.json/.jsonl/.md/.txt")
+    report_parser.set_defaults(func=_cmd_campaign_report)
+
+    export_parser = campaign_sub.add_parser("export", help="export raw results")
+    export_parser.add_argument("--store", default="campaign.sqlite")
+    export_parser.add_argument("--output", "-o", required=True)
+    export_parser.add_argument("--kind", default=None, help="only one job kind")
+    export_parser.add_argument(
+        "--all", action="store_true", help="include failed results, not just ok"
+    )
+    export_parser.set_defaults(func=_cmd_campaign_export)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="an5d",
         description="AN5D reproduction: stencil compilation, tuning and evaluation",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {repro.__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -213,13 +380,29 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--dtype", choices=("float", "double"), default="float")
     compare_parser.set_defaults(func=_cmd_compare)
 
+    _add_campaign_parsers(sub)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout consumer (e.g. `head`) went away; exit quietly without the
+        # interpreter's "Exception ignored" noise on shutdown.
+        sys.stderr.close()
+        return 1
+    except (KeyError, ValueError, ConfigurationError, OSError) as error:
+        # A request that could not be carried out (unknown benchmark/GPU,
+        # invalid configuration, empty search space, unreadable store, ...)
+        # exits 2 with the diagnostic on stderr instead of a traceback on
+        # stdout; work that ran and failed returns 1 from its own handler.
+        message = error.args[0] if error.args and isinstance(error.args[0], str) else error
+        print(f"error: {message}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

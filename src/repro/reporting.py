@@ -36,9 +36,35 @@ class ResultTable:
     def add_dict(self, record: Mapping[str, object]) -> "ResultTable":
         return self.add_row(*[record[h] for h in self.headers])
 
+    @classmethod
+    def from_records(
+        cls,
+        title: str,
+        records: Iterable[Mapping[str, object]],
+        headers: Sequence[str] | None = None,
+    ) -> "ResultTable":
+        """Build a table from mapping records with a stable column order.
+
+        When ``headers`` is omitted, columns appear in first-seen key order
+        across the records (so identical record streams always produce
+        identical, diff-able tables).  Missing keys become ``None`` cells.
+        """
+        records = list(records)
+        if headers is None:
+            seen: List[str] = []
+            for record in records:
+                for key in record:
+                    if key not in seen:
+                        seen.append(key)
+            headers = seen
+        table = cls(title, list(headers))
+        for record in records:
+            table.add_row(*[record.get(h) for h in headers])
+        return table
+
     # -- renderings -----------------------------------------------------------
     def to_text(self) -> str:
-        rows = [[str(v) for v in row] for row in self.rows]
+        rows = [["-" if v is None else str(v) for v in row] for row in self.rows]
         widths = [len(h) for h in self.headers]
         for row in rows:
             for index, cell in enumerate(row):
@@ -55,19 +81,25 @@ class ResultTable:
         lines.append("| " + " | ".join(self.headers) + " |")
         lines.append("|" + "|".join("---" for _ in self.headers) + "|")
         for row in self.rows:
-            lines.append("| " + " | ".join(str(v) for v in row) + " |")
+            lines.append("| " + " | ".join("-" if v is None else str(v) for v in row) + " |")
         return "\n".join(lines)
 
     def to_csv(self) -> str:
         buffer = io.StringIO()
         writer = csv.writer(buffer)
         writer.writerow(self.headers)
-        writer.writerows(self.rows)
+        # None cells render as empty fields, never the literal string "None".
+        writer.writerows([["" if v is None else v for v in row] for row in self.rows])
         return buffer.getvalue()
 
     def to_json(self) -> str:
-        records = [dict(zip(self.headers, row)) for row in self.rows]
-        return json.dumps({"title": self.title, "rows": records}, indent=2)
+        return json.dumps({"title": self.title, "rows": self.to_records()}, indent=2)
+
+    def to_jsonl(self) -> str:
+        """One JSON object per row, keys in header order — diff-able exports."""
+        return "\n".join(
+            json.dumps(record, separators=(",", ":")) for record in self.to_records()
+        )
 
     def to_records(self) -> List[dict]:
         return [dict(zip(self.headers, row)) for row in self.rows]
@@ -79,6 +111,7 @@ class ResultTable:
         renderers = {
             ".csv": self.to_csv,
             ".json": self.to_json,
+            ".jsonl": self.to_jsonl,
             ".md": self.to_markdown,
             ".txt": self.to_text,
         }
