@@ -1,0 +1,228 @@
+"""Search-space sweep throughput: scalar vs batched model engine.
+
+Times a cold exhaustive sweep (full pruned space x register limits) of the
+paper's j2d5pt and star3d1r search spaces through both engines, verifies the
+answers are identical (same best configuration, exactly equal GFLOPS), and
+measures the cold-campaign delta: one model-only campaign matrix (tune +
+predict jobs) run once with the batched engines and once with everything
+forced down the scalar path.  Results go to ``BENCH_sweep.json`` at the
+repository root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py [--quick] [--check]
+
+``--quick`` shrinks the grids for CI smoke runs; ``--check`` exits non-zero
+if any engine pair diverges or the batch sweep speedup falls below 5x.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from contextlib import contextmanager
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import model as model_pkg  # noqa: E402
+from repro.campaign import CampaignScheduler, CampaignSpec, ResultStore  # noqa: E402
+from repro.ir.stencil import GridSpec  # noqa: E402
+from repro.stencils.library import load_pattern  # noqa: E402
+from repro.tuning.exhaustive import exhaustive_search  # noqa: E402
+from repro.tuning.search_space import REGISTER_LIMITS, default_search_space  # noqa: E402
+
+#: CI acceptance threshold for the batch/scalar cold-sweep speedup (the
+#: observed ratio is far higher; 5x keeps the gate robust on noisy runners).
+SWEEP_SPEEDUP_MIN = 5.0
+
+
+@contextmanager
+def _scalar_everything():
+    """Force every engine decision down the scalar path.
+
+    Patches the single engine-resolution choke point plus the scheduler's
+    predict-batching predicate, so tuning, exhaustive sweeps and campaign
+    predict jobs all run exactly as they did before the batch engine landed.
+    """
+    import repro.campaign.scheduler as scheduler_module
+    import repro.model.batch as batch_module
+    import repro.tuning.autotuner as autotuner_module
+    import repro.tuning.exhaustive as exhaustive_module
+
+    def scalar_resolve(engine, pattern):
+        return "scalar"
+
+    patched = [
+        (batch_module, "resolve_engine", batch_module.resolve_engine),
+        (autotuner_module, "resolve_engine", autotuner_module.resolve_engine),
+        (exhaustive_module, "resolve_engine", exhaustive_module.resolve_engine),
+        (scheduler_module, "predict_job_batchable", scheduler_module.predict_job_batchable),
+    ]
+    try:
+        for module, name, _ in patched[:3]:
+            setattr(module, name, scalar_resolve)
+        scheduler_module.predict_job_batchable = lambda spec: False
+        yield
+    finally:
+        for module, name, original in patched:
+            setattr(module, name, original)
+
+
+def bench_sweeps(quick: bool) -> list[dict]:
+    """Cold full-space sweep of both paper spaces through both engines."""
+    workloads = [
+        ("j2d5pt", GridSpec((2048, 2048), 200) if quick else GridSpec((16384, 16384), 1000)),
+        ("star3d1r", GridSpec((128, 128, 128), 200) if quick else GridSpec((512, 512, 512), 1000)),
+    ]
+    results = []
+    for name, grid in workloads:
+        pattern = load_pattern(name, "float")
+        space = default_search_space(pattern)
+
+        model_pkg.clear_model_caches()
+        start = time.perf_counter()
+        batched = exhaustive_search(pattern, grid, "V100", space=space, engine="batch")
+        t_batch = time.perf_counter() - start
+
+        model_pkg.clear_model_caches()
+        start = time.perf_counter()
+        scalar = exhaustive_search(pattern, grid, "V100", space=space, engine="scalar")
+        t_scalar = time.perf_counter() - start
+
+        identical = (
+            batched.best_config == scalar.best_config
+            and batched.best_gflops == scalar.best_gflops
+            and batched.evaluated == scalar.evaluated
+        )
+        results.append(
+            {
+                "pattern": name,
+                "grid": list(grid.interior),
+                "time_steps": grid.time_steps,
+                "space_size": space.size(),
+                "register_limits": len(REGISTER_LIMITS),
+                "evaluated": batched.evaluated,
+                "identical": identical,
+                "batch_seconds": t_batch,
+                "scalar_seconds": t_scalar,
+                "batch_configs_per_s": batched.evaluated / t_batch,
+                "scalar_configs_per_s": scalar.evaluated / t_scalar,
+                "speedup": t_scalar / t_batch,
+            }
+        )
+    return results
+
+
+def bench_campaign(quick: bool) -> dict:
+    """Cold model-only campaign matrix: batched engines vs scalar-everything."""
+    benchmarks = ("j2d5pt", "star3d1r") if quick else ("j2d5pt", "j2d9pt", "gradient2d", "star3d1r")
+    spec = CampaignSpec(
+        benchmarks=benchmarks,
+        gpus=("V100", "P100"),
+        dtypes=("float",),
+        kinds=("tune", "predict"),
+        time_steps=200 if quick else 1000,
+        interior_2d=(2048, 2048) if quick else (16384, 16384),
+        interior_3d=(128, 128, 128) if quick else (512, 512, 512),
+    )
+
+    def cold_run():
+        model_pkg.clear_model_caches()
+        with ResultStore(":memory:") as store:
+            start = time.perf_counter()
+            outcome = CampaignScheduler(spec, store).run()
+            elapsed = time.perf_counter() - start
+            records = store.export_records()
+        return outcome, elapsed, records
+
+    batch_outcome, t_batch, batch_records = cold_run()
+    with _scalar_everything():
+        scalar_outcome, t_scalar, scalar_records = cold_run()
+
+    return {
+        "jobs": batch_outcome.total,
+        "kinds": list(spec.kinds),
+        "benchmarks": list(benchmarks),
+        "identical": batch_records == scalar_records,
+        "batch_seconds": t_batch,
+        "scalar_seconds": t_scalar,
+        "batch_configs_per_s": batch_outcome.configs_per_s,
+        "scalar_configs_per_s": scalar_outcome.configs_per_s,
+        "speedup": t_scalar / t_batch,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small CI-sized workloads")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero on divergence or sweep speedup < 5x",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_sweep.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"== bench_sweep ({'quick' if args.quick else 'full'}) ==")
+    sweeps = bench_sweeps(args.quick)
+    for sweep in sweeps:
+        print(
+            f"{sweep['pattern']:<10}: batch {sweep['batch_configs_per_s']:10.0f} configs/s "
+            f"(scalar {sweep['scalar_configs_per_s']:8.0f}) -> {sweep['speedup']:.1f}x "
+            f"over {sweep['evaluated']} runs, identical={sweep['identical']}"
+        )
+
+    campaign = bench_campaign(args.quick)
+    print(
+        f"campaign  : batch {campaign['batch_seconds']:.2f}s "
+        f"(scalar {campaign['scalar_seconds']:.2f}s) -> {campaign['speedup']:.1f}x "
+        f"over {campaign['jobs']} cold jobs, identical={campaign['identical']}"
+    )
+
+    identical = all(sweep["identical"] for sweep in sweeps) and campaign["identical"]
+    speedup_ok = all(sweep["speedup"] >= SWEEP_SPEEDUP_MIN for sweep in sweeps)
+    met = identical and speedup_ok
+
+    report = {
+        "schema": "bench_sweep/v1",
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "quick": args.quick,
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "sweeps": sweeps,
+        "campaign": campaign,
+        "thresholds": {
+            "sweep_speedup_min": SWEEP_SPEEDUP_MIN,
+            "identical": identical,
+            "met": met,
+        },
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+    print(
+        f"thresholds (identical results, sweep >= {SWEEP_SPEEDUP_MIN}x): "
+        f"{'MET' if met else 'NOT MET'}"
+    )
+    if args.check and not met:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -265,6 +265,82 @@ def run_job(spec: JobSpec) -> Dict[str, object]:
 
 
 # ---------------------------------------------------------------------------
+# Batched model-only execution
+# ---------------------------------------------------------------------------
+
+
+def predict_batch_key(spec: JobSpec) -> Tuple[object, ...]:
+    """Jobs sharing this key evaluate against one (pattern, grid, GPU)."""
+    return (spec.pattern, spec.gpu, spec.dtype, spec.interior, spec.time_steps)
+
+
+def predict_job_batchable(spec: JobSpec) -> bool:
+    """Whether the batched model engine can serve this job in-process."""
+    from repro.model.batch import supports_pattern
+
+    if spec.kind != "predict":
+        return False
+    try:
+        return supports_pattern(load_pattern(spec.pattern, spec.dtype))
+    except Exception:
+        return False
+
+
+def _predict_config(spec: JobSpec, ndim: int) -> BlockingConfig:
+    """The blocking configuration a predict job describes (same defaults as
+    the scalar runner)."""
+    params = spec.params_dict()
+    return BlockingConfig(
+        bT=int(params.get("bT", 4)),
+        bS=tuple(params.get("bS", (256,) if ndim == 2 else (32, 32))),
+        hS=params.get("hS"),
+        register_limit=params.get("regs"),
+    )
+
+
+def run_predict_jobs(specs: List[JobSpec]) -> List[Dict[str, object]]:
+    """Execute many predict jobs of one batch group in a single model pass.
+
+    All specs must share :func:`predict_batch_key`.  Payloads are exactly the
+    ones :func:`run_job` would produce for each spec — the batch engine is
+    bit-identical to the scalar model — just without one pool dispatch (and
+    one model evaluation) per job.
+    """
+    from repro.model.batch import BatchModelEngine, ConfigBatch
+
+    if not specs:
+        return []
+    if len({predict_batch_key(spec) for spec in specs}) != 1:
+        raise ValueError("predict batch mixes incompatible jobs")
+    pattern = load_pattern(specs[0].pattern, specs[0].dtype)
+    configs = [_predict_config(spec, pattern.ndim) for spec in specs]
+    for config in configs:
+        # The scalar runner fails per job on invalid configurations; raising
+        # here sends the whole group down that path so each job still gets
+        # its own error record.
+        config.validate(pattern)
+    engine = BatchModelEngine(pattern, specs[0].grid(), get_gpu(specs[0].gpu))
+    batch = ConfigBatch.from_configs(configs)
+    traffic = engine.traffic(batch)
+    predicted = engine.predict(batch, traffic)
+    simulated = engine.simulate(batch, traffic)
+    payloads = []
+    for index, config in enumerate(configs):
+        payload = {
+            "bT": config.bT,
+            "bS": list(config.bS),
+            "hS": config.hS,
+            "regs": config.register_limit,
+            "model_gflops": float(predicted.gflops[index]),
+            "simulated_gflops": float(simulated.gflops[index]),
+            "model_bottleneck": predicted.bottleneck_name(index),
+            "simulated_bottleneck": simulated.bottleneck_name(index),
+        }
+        payloads.append({str(k): _json_safe(v) for k, v in payload.items()})
+    return payloads
+
+
+# ---------------------------------------------------------------------------
 # Campaign expansion
 # ---------------------------------------------------------------------------
 

@@ -10,6 +10,13 @@ Sharding splits one campaign across independent scheduler instances (e.g.
 separate machines sharing nothing but the final store merge): each job has a
 stable shard assignment derived from its content address, and a scheduler
 configured as shard ``i`` of ``n`` only ever touches its own slice.
+
+Model-only ``predict`` jobs never reach the pool: jobs sharing one
+(pattern, grid, GPU) are grouped and served by the batched model engine in a
+single in-process array pass (results identical to the per-job runner).
+Forking a worker just to evaluate a closed-form model is slower than the
+evaluation itself; the pool is reserved for simulator- and executor-backed
+job kinds.
 """
 
 from __future__ import annotations
@@ -22,7 +29,14 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.campaign.jobs import CampaignSpec, JobSpec, run_job
+from repro.campaign.jobs import (
+    CampaignSpec,
+    JobSpec,
+    predict_batch_key,
+    predict_job_batchable,
+    run_job,
+    run_predict_jobs,
+)
 from repro.campaign.store import ResultStore
 
 
@@ -86,11 +100,19 @@ class CampaignOutcome:
     duration_s: float
     shards: int = 1
     shard_index: int = 0
+    configs_evaluated: int = 0
     failures: List[str] = field(default_factory=list)
 
     @property
     def cache_hit_rate(self) -> float:
         return self.cached / self.total if self.total else 1.0
+
+    @property
+    def configs_per_s(self) -> float:
+        """Model/simulator configurations evaluated per second of campaign."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.configs_evaluated / self.duration_s
 
     @property
     def ok(self) -> bool:
@@ -105,6 +127,7 @@ class CampaignOutcome:
             "retried": self.retried,
             "cache_hit_rate": round(self.cache_hit_rate, 4),
             "duration_s": round(self.duration_s, 3),
+            "configs_per_s": round(self.configs_per_s, 1),
             "shard": f"{self.shard_index}/{self.shards}",
         }
 
@@ -156,13 +179,65 @@ class CampaignScheduler:
         return cached, pending
 
     # -- execution -------------------------------------------------------------
+    @staticmethod
+    def _payload_configs(kind: str, payload: Dict[str, object]) -> int:
+        """Model/simulator configurations one ok payload accounts for."""
+        if kind == "predict":
+            return 1
+        if kind == "exhaustive":
+            return int(payload.get("evaluated", 0) or 0)
+        if kind == "tune":
+            # Stage 1 model-evaluates only the pruned survivors; the rest of
+            # the space was dismissed by a boolean mask, not evaluated.
+            return int(payload.get("pruned_to", 0) or 0)
+        return 0
+
+    def _run_predict_groups(
+        self, jobs: List[JobSpec], progress: Optional[ProgressCallback]
+    ) -> Tuple[List[JobSpec], int]:
+        """Serve batchable predict jobs in-process; return (leftover, configs).
+
+        Jobs are grouped by (pattern, grid, GPU) and each group is one call
+        into the batched model engine.  A group that fails for any reason is
+        handed back for the per-job path, which records individual errors.
+        """
+        groups: Dict[Tuple[object, ...], List[JobSpec]] = {}
+        leftover: List[JobSpec] = []
+        for job in jobs:
+            if predict_job_batchable(job):
+                groups.setdefault(predict_batch_key(job), []).append(job)
+            else:
+                leftover.append(job)
+        evaluated = 0
+        for group in groups.values():
+            start = time.perf_counter()
+            try:
+                payloads = run_predict_jobs(group)
+            except Exception:
+                leftover.extend(group)
+                continue
+            elapsed = (time.perf_counter() - start) / len(group)
+            for job, payload in zip(group, payloads):
+                self.store.put(job, payload, status="ok", elapsed_s=elapsed)
+                evaluated += 1
+                if progress is not None:
+                    progress(job, "ok")
+        return leftover, evaluated
+
     def _run_batch(
         self, jobs: List[JobSpec], progress: Optional[ProgressCallback]
-    ) -> List[JobSpec]:
-        """Run one batch, committing incrementally; return the failed jobs."""
+    ) -> Tuple[List[JobSpec], int]:
+        """Run one batch, committing incrementally.
+
+        Returns the failed jobs and how many model/simulator configurations
+        the successful ones evaluated.
+        """
         failed: List[JobSpec] = []
         if not jobs:
-            return failed
+            return failed, 0
+        jobs, evaluated = self._run_predict_groups(jobs, progress)
+        if not jobs:
+            return failed, evaluated
         if self.workers > 1 and len(jobs) > 1:
             results = self._map_parallel(jobs)
         else:
@@ -172,9 +247,11 @@ class CampaignScheduler:
             self.store.put(job, payload, status=status, elapsed_s=elapsed)
             if status != "ok":
                 failed.append(job)
+            else:
+                evaluated += self._payload_configs(job.kind, payload)
             if progress is not None:
                 progress(job, status)
-        return failed
+        return failed, evaluated
 
     def _map_parallel(self, jobs: List[JobSpec]):
         tasks = [(i, job, self.timeout) for i, job in enumerate(jobs)]
@@ -209,12 +286,13 @@ class CampaignScheduler:
         executed = len(pending)
         retried = 0
 
-        failed = self._run_batch(pending, progress)
+        failed, configs_evaluated = self._run_batch(pending, progress)
         for _ in range(self.retries):
             if not failed:
                 break
             retried += len(failed)
-            failed = self._run_batch(failed, progress)
+            failed, retry_configs = self._run_batch(failed, progress)
+            configs_evaluated += retry_configs
 
         return CampaignOutcome(
             total=total,
@@ -225,5 +303,6 @@ class CampaignScheduler:
             duration_s=time.perf_counter() - start,
             shards=self.shards,
             shard_index=self.shard_index,
+            configs_evaluated=configs_evaluated,
             failures=[job.describe() for job in failed],
         )

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
@@ -98,7 +99,13 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
-    result = api.tune(args.stencil, gpu=args.gpu, dtype=args.dtype, time_steps=args.time_steps)
+    result = api.tune(
+        args.stencil,
+        gpu=args.gpu,
+        dtype=args.dtype,
+        time_steps=args.time_steps,
+        engine=args.engine,
+    )
     row = result.as_row()
     print(f"best configuration for {args.stencil} on {args.gpu} ({args.dtype}):")
     for key, value in row.items():
@@ -108,19 +115,31 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 
 
 def _cmd_exhaustive(args: argparse.Namespace) -> int:
+    from repro.model.batch import resolve_engine
+    from repro.stencils.library import load_pattern
+
+    engine = resolve_engine(args.engine, load_pattern(args.stencil, args.dtype))
+    start = time.perf_counter()
     result = api.exhaustive(
         args.stencil,
         gpu=args.gpu,
         dtype=args.dtype,
         time_steps=args.time_steps,
         workers=args.workers,
+        engine=engine,
     )
+    elapsed = time.perf_counter() - start
     print(
         f"exhaustive optimum for {args.stencil} on {args.gpu} ({args.dtype}), "
         f"{result.evaluated} simulated runs:"
     )
     for key, value in result.as_row().items():
         print(f"  {key:>14}: {value}")
+    rate = result.evaluated / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"evaluated {result.evaluated} configs in {elapsed:.3f}s "
+        f"({rate:.0f} configs/s, engine={engine})"
+    )
     return 0
 
 
@@ -341,11 +360,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_blocking_arguments(compile_parser)
     compile_parser.set_defaults(func=_cmd_compile)
 
+    engine_help = (
+        "model evaluation engine: 'batch' sweeps the whole space as arrays, "
+        "'scalar' walks one configuration at a time, 'auto' picks batch for "
+        "2-D/3-D stencils"
+    )
+
     tune_parser = sub.add_parser("tune", help="autotune a benchmark stencil")
     tune_parser.add_argument("stencil")
     tune_parser.add_argument("--gpu", default="V100")
     tune_parser.add_argument("--dtype", choices=("float", "double"), default="float")
     tune_parser.add_argument("--time-steps", type=int, default=1000)
+    tune_parser.add_argument(
+        "--engine", choices=("auto", "batch", "scalar"), default="auto", help=engine_help
+    )
     tune_parser.set_defaults(func=_cmd_tune)
 
     exhaustive_parser = sub.add_parser(
@@ -356,7 +384,10 @@ def build_parser() -> argparse.ArgumentParser:
     exhaustive_parser.add_argument("--dtype", choices=("float", "double"), default="float")
     exhaustive_parser.add_argument("--time-steps", type=int, default=1000)
     exhaustive_parser.add_argument(
-        "--workers", type=int, default=1, help="worker processes for the sweep"
+        "--workers", type=int, default=1, help="worker processes (scalar engine only)"
+    )
+    exhaustive_parser.add_argument(
+        "--engine", choices=("auto", "batch", "scalar"), default="auto", help=engine_help
     )
     exhaustive_parser.set_defaults(func=_cmd_exhaustive)
 

@@ -9,6 +9,17 @@ accuracy — and the gap to "measured" performance is reproduced by the
 separate timing simulator in :mod:`repro.sim`.
 """
 
+from repro.model.batch import (
+    BatchMeasurement,
+    BatchModelEngine,
+    BatchPrediction,
+    ConfigBatch,
+    prune_mask,
+    register_mask,
+    resolve_engine,
+    supports_pattern,
+    validity_mask,
+)
 from repro.model.gpu_specs import GPUS, GpuSpec, get_gpu
 from repro.model.threads import ThreadWorkCounts, count_thread_work
 from repro.model.traffic import (
@@ -32,6 +43,10 @@ __all__ = [
     "clear_model_caches",
     "clear_occupancy_cache",
     "clear_traffic_cache",
+    "BatchMeasurement",
+    "BatchModelEngine",
+    "BatchPrediction",
+    "ConfigBatch",
     "GPUS",
     "GpuSpec",
     "OccupancyResult",
@@ -44,7 +59,12 @@ __all__ = [
     "get_gpu",
     "occupancy_for",
     "predict_performance",
+    "prune_mask",
+    "register_mask",
     "register_pressure_ok",
+    "resolve_engine",
     "shared_memory_access_per_thread",
     "stencilgen_registers",
+    "supports_pattern",
+    "validity_mask",
 ]

@@ -6,6 +6,12 @@ the top ``k`` (5 in the paper) candidates, tries each with the candidate
 register limits, "runs" them on the timing simulator — the stand-in for the
 actual GPU measurements — and returns the configuration with the best
 simulated performance.
+
+Stage 1 defaults to the batched model engine (:mod:`repro.model.batch`):
+pruning and the roofline prediction for the whole space happen as a handful
+of array operations, and the stable descending sort reproduces the scalar
+ranking exactly (identical predictions, identical tie order).  Stage 2 is
+genuinely per-candidate simulator work and stays scalar.
 """
 
 from __future__ import annotations
@@ -13,8 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.config import BlockingConfig
 from repro.ir.stencil import GridSpec, StencilPattern
+from repro.model.batch import BatchModelEngine, ConfigBatch, prune_mask, resolve_engine
 from repro.model.gpu_specs import GpuSpec, get_gpu
 from repro.model.roofline import PerformancePrediction, predict_performance
 from repro.sim.timing import SimulatedMeasurement, TimingSimulator
@@ -78,11 +87,17 @@ class TuningResult:
 
 
 class AutoTuner:
-    """Model-guided tuner for one device."""
+    """Model-guided tuner for one device.
 
-    def __init__(self, gpu: GpuSpec | str, top_k: int = 5) -> None:
+    ``engine`` selects the stage-1 ranking implementation: ``"batch"`` (the
+    vectorized model engine, the ``"auto"`` choice for 2-D/3-D stencils) or
+    ``"scalar"``; both produce the identical candidate ranking.
+    """
+
+    def __init__(self, gpu: GpuSpec | str, top_k: int = 5, engine: str = "auto") -> None:
         self.gpu = get_gpu(gpu) if isinstance(gpu, str) else gpu
         self.top_k = top_k
+        self.engine = engine
         self.simulator = TimingSimulator(self.gpu)
 
     # -- stage 1: model ranking -------------------------------------------------
@@ -94,6 +109,8 @@ class AutoTuner:
     ) -> List[TuningCandidate]:
         """Rank all pruned configurations by predicted performance."""
         space = space or default_search_space(pattern)
+        if resolve_engine(self.engine, pattern) == "batch":
+            return self._rank_batched(pattern, grid, space)
         configurations = prune_configurations(pattern, space.configurations(), self.gpu)
         candidates = [
             TuningCandidate(config, predict_performance(pattern, grid, config, self.gpu))
@@ -101,6 +118,29 @@ class AutoTuner:
         ]
         candidates.sort(key=lambda c: c.predicted_gflops, reverse=True)
         return candidates
+
+    def _rank_batched(
+        self,
+        pattern: StencilPattern,
+        grid: GridSpec,
+        space: SearchSpace,
+    ) -> List[TuningCandidate]:
+        """Prune + predict the whole space in arrays, then sort stably.
+
+        A stable sort on the negated predictions reproduces ``list.sort``'s
+        ordering: descending by predicted GFLOPS, enumeration order on ties.
+        """
+        candidates = ConfigBatch.from_space(space)
+        survivors = candidates.select(prune_mask(pattern, candidates, self.gpu))
+        if survivors.size == 0:
+            return []
+        model = BatchModelEngine(pattern, grid, self.gpu)
+        predicted = model.predict(survivors)
+        order = np.argsort(-predicted.gflops, kind="stable")
+        return [
+            TuningCandidate(survivors.config(i), model.prediction(predicted, i))
+            for i in order
+        ]
 
     # -- stage 2: simulated measurement -----------------------------------------
     def _measure_with_register_limits(
@@ -155,6 +195,7 @@ def tune(
     grid: GridSpec,
     gpu: GpuSpec | str,
     top_k: int = 5,
+    engine: str = "auto",
 ) -> TuningResult:
     """Convenience wrapper: tune ``pattern`` for ``gpu`` over ``grid``."""
-    return AutoTuner(gpu, top_k).tune(pattern, grid)
+    return AutoTuner(gpu, top_k, engine=engine).tune(pattern, grid)

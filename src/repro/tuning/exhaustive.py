@@ -6,6 +6,20 @@ configuration close to the best one.  This module provides the comparison:
 an exhaustive sweep that simulates *every* valid configuration, and a helper
 that quantifies how much performance the model-guided two-stage procedure
 leaves on the table (the "tuning efficiency").
+
+Two engines drive the sweep:
+
+* ``batch`` (the default for 2-D/3-D stencils) evaluates the whole pruned
+  space x register-limit cross product in one vectorized pass over the
+  structure-of-arrays layout of :mod:`repro.model.batch` — no worker
+  processes, no per-config Python objects, identical results to the scalar
+  sweep down to the last bit;
+* ``scalar`` walks one configuration at a time through the scalar timing
+  simulator.  Only this engine uses the ``workers`` process pool: fanning
+  out is worthwhile for genuinely simulator-backed per-config work, whereas
+  the old behaviour of forking model-only evaluations re-imported the
+  library and re-warmed every per-process model cache just to do array-op
+  amounts of arithmetic.
 """
 
 from __future__ import annotations
@@ -14,8 +28,11 @@ import multiprocessing
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.config import BlockingConfig
 from repro.ir.stencil import GridSpec, StencilPattern
+from repro.model.batch import BatchModelEngine, ConfigBatch, prune_mask, resolve_engine
 from repro.model.gpu_specs import GpuSpec, get_gpu
 from repro.sim.timing import TimingSimulator
 from repro.tuning.autotuner import AutoTuner, TuningResult
@@ -40,6 +57,39 @@ class ExhaustiveResult:
             "gflops": round(self.best_gflops, 1),
             "evaluated": self.evaluated,
         }
+
+
+def _search_batched(
+    pattern: StencilPattern,
+    grid: GridSpec,
+    spec: GpuSpec,
+    space: SearchSpace,
+    register_limits: Tuple[Optional[int], ...],
+) -> ExhaustiveResult:
+    """One vectorized pass over the whole pruned space x register limits.
+
+    Candidates are laid out configuration-major, limit-minor — the scalar
+    sweep's visit order — and the first maximum wins, so ties resolve to the
+    same configuration the serial scan would keep.
+    """
+    candidates = ConfigBatch.from_space(space)
+    survivors = candidates.select(prune_mask(pattern, candidates, spec))
+    if survivors.size == 0:
+        raise ValueError(f"no valid configuration for stencil {pattern.name!r}")
+    engine = BatchModelEngine(pattern, grid, spec)
+    sweep = survivors.with_register_limits(register_limits)
+    # Traffic is independent of the register limit: one pass over the
+    # survivors feeds the whole limit-expanded sweep.
+    traffic = engine.traffic(survivors).repeat(len(register_limits))
+    measured = engine.simulate(sweep, traffic)
+    best = int(np.argmax(measured.gflops)) if sweep.size else 0
+    if not sweep.size or not measured.gflops[best] > 0.0:
+        raise ValueError(f"no valid configuration for stencil {pattern.name!r}")
+    return ExhaustiveResult(
+        best_config=sweep.config(best),
+        best_gflops=float(measured.gflops[best]),
+        evaluated=sweep.size,
+    )
 
 
 _ChunkResult = Tuple[Optional[BlockingConfig], float, int]
@@ -90,34 +140,27 @@ def _search_parallel(
         )
 
 
-def exhaustive_search(
+def _search_scalar(
     pattern: StencilPattern,
     grid: GridSpec,
-    gpu: GpuSpec | str,
-    space: SearchSpace | None = None,
-    register_limits: Sequence[Optional[int]] = REGISTER_LIMITS,
-    workers: int = 1,
+    spec: GpuSpec,
+    space: SearchSpace,
+    register_limits: Tuple[Optional[int], ...],
+    workers: int,
 ) -> ExhaustiveResult:
-    """Simulate every valid configuration and return the best one.
-
-    ``workers`` > 1 splits the pruned space into contiguous chunks swept by a
-    ``multiprocessing`` pool; results are identical to the serial sweep.  Any
-    failure to parallelize (no fork support, unpicklable pattern) falls back
-    to the serial path.
-    """
-    spec = get_gpu(gpu) if isinstance(gpu, str) else gpu
-    space = space or default_search_space(pattern)
+    """The per-config scalar sweep, optionally fanned out over a pool."""
     survivors = prune_configurations(pattern, space.configurations(), spec)
-    limits = tuple(register_limits)
 
     chunk_results: List[_ChunkResult]
     if workers > 1 and len(survivors) > 1:
         try:
-            chunk_results = _search_parallel(pattern, grid, spec, survivors, limits, workers)
+            chunk_results = _search_parallel(
+                pattern, grid, spec, survivors, register_limits, workers
+            )
         except Exception:
-            chunk_results = [_search_chunk((pattern, grid, spec, survivors, limits))]
+            chunk_results = [_search_chunk((pattern, grid, spec, survivors, register_limits))]
     else:
-        chunk_results = [_search_chunk((pattern, grid, spec, survivors, limits))]
+        chunk_results = [_search_chunk((pattern, grid, spec, survivors, register_limits))]
 
     best_config: Optional[BlockingConfig] = None
     best_gflops = 0.0
@@ -130,6 +173,32 @@ def exhaustive_search(
     if best_config is None:
         raise ValueError(f"no valid configuration for stencil {pattern.name!r}")
     return ExhaustiveResult(best_config=best_config, best_gflops=best_gflops, evaluated=evaluated)
+
+
+def exhaustive_search(
+    pattern: StencilPattern,
+    grid: GridSpec,
+    gpu: GpuSpec | str,
+    space: SearchSpace | None = None,
+    register_limits: Sequence[Optional[int]] = REGISTER_LIMITS,
+    workers: int = 1,
+    engine: str = "auto",
+) -> ExhaustiveResult:
+    """Simulate every valid configuration and return the best one.
+
+    ``engine`` selects how the space is evaluated: ``"batch"`` (one
+    vectorized pass, the ``"auto"`` choice for 2-D/3-D stencils),
+    ``"scalar"`` (per-config sweep), or ``"auto"``.  ``workers`` > 1 splits
+    the *scalar* sweep into contiguous chunks over a ``multiprocessing``
+    pool; the batch engine is in-process array arithmetic and ignores it.
+    Every engine returns the identical best configuration and GFLOPS.
+    """
+    spec = get_gpu(gpu) if isinstance(gpu, str) else gpu
+    space = space or default_search_space(pattern)
+    limits = tuple(register_limits)
+    if resolve_engine(engine, pattern) == "batch":
+        return _search_batched(pattern, grid, spec, space, limits)
+    return _search_scalar(pattern, grid, spec, space, limits, workers)
 
 
 @dataclass(frozen=True)
@@ -160,9 +229,10 @@ def compare_guided_vs_exhaustive(
     top_k: int = 5,
     space: SearchSpace | None = None,
     workers: int = 1,
+    engine: str = "auto",
 ) -> TuningEfficiency:
     """Run both procedures on the same space and report the efficiency."""
     spec = get_gpu(gpu) if isinstance(gpu, str) else gpu
-    guided = AutoTuner(spec, top_k=top_k).tune(pattern, grid, space)
-    exhaustive = exhaustive_search(pattern, grid, spec, space, workers=workers)
+    guided = AutoTuner(spec, top_k=top_k, engine=engine).tune(pattern, grid, space)
+    exhaustive = exhaustive_search(pattern, grid, spec, space, workers=workers, engine=engine)
     return TuningEfficiency(guided=guided, exhaustive=exhaustive)
