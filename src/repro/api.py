@@ -310,16 +310,25 @@ def campaign(
     shards: int = 1,
     shard_index: int = 0,
     top_k: int = 5,
+    interior_2d: Optional[Sequence[int]] = None,
+    interior_3d: Optional[Sequence[int]] = None,
     progress=None,
 ) -> "CampaignOutcome":
     """Run (or resume) a campaign over the benchmark x GPU x dtype matrix.
 
     Jobs whose results are already in the ``store`` are not re-run; each new
     result is committed the moment it finishes, so an interrupted campaign
-    resumes where it stopped.  ``benchmarks=None`` means all of Table 3.
+    resumes where it stopped.  ``benchmarks=None`` means all of Table 3;
+    ``interior_2d``/``interior_3d`` override the paper's evaluation grids
+    (``None`` keeps them).
     """
     from repro.campaign import CampaignScheduler, CampaignSpec, ResultStore
 
+    interiors = {}
+    if interior_2d is not None:
+        interiors["interior_2d"] = tuple(interior_2d)
+    if interior_3d is not None:
+        interiors["interior_3d"] = tuple(interior_3d)
     spec = CampaignSpec(
         benchmarks=tuple(benchmarks or ()),
         gpus=tuple(gpus),
@@ -327,6 +336,7 @@ def campaign(
         kinds=tuple(kinds),
         time_steps=time_steps,
         top_k=top_k,
+        **interiors,
     )
     owns_store = not isinstance(store, ResultStore)
     result_store = ResultStore(store) if owns_store else store
@@ -369,6 +379,51 @@ def campaign_report(
     finally:
         if owns_store:
             result_store.close()
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    store: Union[str, Path, "ResultStore"] = "campaign.sqlite",
+    workers: int = 1,
+    concurrency: int = 2,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    block: bool = True,
+    quiet: bool = True,
+) -> "CampaignServer":
+    """Serve the campaign layer over HTTP (the ``an5d serve`` entry point).
+
+    Submit :class:`~repro.campaign.jobs.CampaignSpec` JSON to
+    ``POST /campaigns``, poll ``GET /campaigns/{id}``, and fetch reports and
+    deterministic JSONL exports — all against one shared result store, so
+    the service resumes warm after a restart.
+
+    ``workers`` is the multiprocessing fan-out for scalar-simulator jobs;
+    ``concurrency`` is how many campaigns the async worker overlaps.  With
+    ``block=False`` the server runs in a background thread and is returned
+    (callers stop it with :meth:`~repro.service.CampaignServer.stop`);
+    ``port=0`` picks an ephemeral port.
+    """
+    from repro.service import CampaignServer, WorkerSettings
+
+    server = CampaignServer(
+        host=host,
+        port=port,
+        store=store,
+        settings=WorkerSettings(
+            workers=workers, concurrency=concurrency, timeout=timeout, retries=retries
+        ),
+        quiet=quiet,
+    )
+    if not block:
+        server.start()
+        return server
+    try:
+        server.run()
+    finally:
+        server.stop()
+    return server
 
 
 def execution_summary(

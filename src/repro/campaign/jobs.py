@@ -16,7 +16,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import repro
 from repro.core.config import BlockingConfig
@@ -73,6 +73,11 @@ class JobSpec:
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
             raise ValueError(f"unknown job kind {self.kind!r}; expected one of {JOB_KINDS}")
+        # GPU aliases ("v100", "volta") normalise to the registry's canonical
+        # short name here, in the spec itself, so every submit route — CLI
+        # matrix expansion, direct construction, HTTP wire decode — produces
+        # the same content address for the same work.
+        object.__setattr__(self, "gpu", _canonical_gpu_name(self.gpu))
         object.__setattr__(self, "interior", tuple(int(v) for v in self.interior))
         object.__setattr__(
             self, "params", tuple(sorted((str(k), _freeze(v)) for k, v in self.params))
@@ -115,11 +120,67 @@ class JobSpec:
             extra = f" [{framework}]"
         return f"{self.kind} {self.pattern} on {self.gpu}/{self.dtype} ({grid}){extra}"
 
+    # -- wire format ---------------------------------------------------------
+    _JSON_FIELDS = ("kind", "pattern", "gpu", "dtype", "interior", "time_steps", "params")
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-safe mapping; ``from_json`` round-trips it key-identically."""
+        return {
+            "kind": self.kind,
+            "pattern": self.pattern,
+            "gpu": self.gpu,
+            "dtype": self.dtype,
+            "interior": list(self.interior),
+            "time_steps": self.time_steps,
+            "params": _canonical(self.params_dict()),
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "JobSpec":
+        """Decode a spec from untrusted JSON.
+
+        Strict by design: unknown fields are rejected (a typo like
+        ``"patern"`` must not silently submit default work), and the decoded
+        spec normalises GPU aliases exactly like direct construction, so the
+        content address is stable across submit routes.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError("job spec must be a JSON object")
+        unknown = sorted(set(data) - set(cls._JSON_FIELDS))
+        if unknown:
+            raise ValueError(f"unknown job spec field(s): {', '.join(unknown)}")
+        missing = [f for f in cls._JSON_FIELDS if f != "params" and f not in data]
+        if missing:
+            raise ValueError(f"missing job spec field(s): {', '.join(missing)}")
+        params = data.get("params", {})
+        if not isinstance(params, Mapping):
+            raise ValueError("job spec params must be a JSON object")
+        if isinstance(data["interior"], (str, Mapping)):
+            # tuple("512") would silently become (5, 1, 2).
+            raise ValueError("job spec field 'interior' must be a JSON array")
+        return cls(
+            kind=str(data["kind"]),
+            pattern=str(data["pattern"]),
+            gpu=str(data["gpu"]),
+            dtype=str(data["dtype"]),
+            interior=tuple(data["interior"]),  # type: ignore[arg-type]
+            time_steps=int(data["time_steps"]),  # type: ignore[arg-type]
+            params=tuple(params.items()),
+        )
+
 
 def _freeze(value: object) -> object:
     if isinstance(value, (list, tuple)):
         return tuple(_freeze(v) for v in value)
     return value
+
+
+def _unique(values) -> Tuple:
+    """Drop repeats while keeping first-seen order."""
+    seen: Dict[object, None] = {}
+    for value in values:
+        seen.setdefault(value)
+    return tuple(seen)
 
 
 def _canonical_gpu_name(name: str) -> str:
@@ -363,15 +424,18 @@ class CampaignSpec:
     top_k: int = 5
 
     def __post_init__(self) -> None:
-        benchmarks = tuple(self.benchmarks) or tuple(BENCHMARKS)
+        benchmarks = _unique(self.benchmarks) or tuple(BENCHMARKS)
         object.__setattr__(self, "benchmarks", benchmarks)
         # Normalise GPU aliases ("v100", "volta") to the registry's canonical
-        # short name so equivalent campaigns produce identical job keys.
+        # short name, then drop repeats, so equivalent campaigns — however
+        # they were spelled — share one canonical spec and content address.
         object.__setattr__(
-            self, "gpus", tuple(_canonical_gpu_name(gpu) for gpu in self.gpus)
+            self, "gpus", _unique(_canonical_gpu_name(gpu) for gpu in self.gpus)
         )
-        object.__setattr__(self, "dtypes", tuple(self.dtypes))
-        object.__setattr__(self, "kinds", tuple(self.kinds))
+        object.__setattr__(self, "dtypes", _unique(self.dtypes))
+        object.__setattr__(self, "kinds", _unique(self.kinds))
+        object.__setattr__(self, "interior_2d", tuple(int(v) for v in self.interior_2d))
+        object.__setattr__(self, "interior_3d", tuple(int(v) for v in self.interior_3d))
         for name in self.benchmarks:
             get_benchmark(name)  # raises KeyError with the available names
         for dtype in self.dtypes:
@@ -442,3 +506,73 @@ class CampaignSpec:
             f"{len(self.benchmarks)} benchmark(s) x {len(self.gpus)} GPU(s) x "
             f"{len(self.dtypes)} dtype(s) x kinds {', '.join(self.kinds)}"
         )
+
+    # -- wire format ---------------------------------------------------------
+    _JSON_FIELDS = (
+        "benchmarks",
+        "gpus",
+        "dtypes",
+        "kinds",
+        "time_steps",
+        "interior_2d",
+        "interior_3d",
+        "top_k",
+    )
+
+    def to_json(self) -> Dict[str, object]:
+        """Canonical JSON-safe mapping of the (normalised) campaign."""
+        return {
+            "benchmarks": list(self.benchmarks),
+            "gpus": list(self.gpus),
+            "dtypes": list(self.dtypes),
+            "kinds": list(self.kinds),
+            "time_steps": self.time_steps,
+            "interior_2d": list(self.interior_2d),
+            "interior_3d": list(self.interior_3d),
+            "top_k": self.top_k,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "CampaignSpec":
+        """Decode a campaign from untrusted JSON (strict: no unknown fields).
+
+        Omitted fields take the same defaults as direct construction, so a
+        minimal ``{"benchmarks": ["j2d5pt"]}`` submission and the equivalent
+        CLI invocation expand to identical job keys.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError("campaign spec must be a JSON object")
+        unknown = sorted(set(data) - set(cls._JSON_FIELDS))
+        if unknown:
+            raise ValueError(f"unknown campaign spec field(s): {', '.join(unknown)}")
+        for name in ("benchmarks", "gpus", "dtypes", "kinds", "interior_2d", "interior_3d"):
+            if name in data and isinstance(data[name], (str, Mapping)):
+                raise ValueError(f"campaign spec field {name!r} must be a JSON array")
+        defaults = {
+            "gpus": ("V100",),
+            "dtypes": ("float",),
+            "kinds": ("tune",),
+        }
+        return cls(
+            benchmarks=tuple(data.get("benchmarks", ())),  # type: ignore[arg-type]
+            gpus=tuple(data.get("gpus", defaults["gpus"])),  # type: ignore[arg-type]
+            dtypes=tuple(data.get("dtypes", defaults["dtypes"])),  # type: ignore[arg-type]
+            kinds=tuple(data.get("kinds", defaults["kinds"])),  # type: ignore[arg-type]
+            time_steps=int(data.get("time_steps", DEFAULT_TIME_STEPS)),  # type: ignore[arg-type]
+            interior_2d=tuple(data.get("interior_2d", DEFAULT_2D_GRID)),  # type: ignore[arg-type]
+            interior_3d=tuple(data.get("interior_3d", DEFAULT_3D_GRID)),  # type: ignore[arg-type]
+            top_k=int(data.get("top_k", 5)),  # type: ignore[arg-type]
+        )
+
+    def canonical(self) -> str:
+        """Canonical JSON encoding used for the campaign's content address."""
+        return json.dumps(self.to_json(), sort_keys=True, separators=(",", ":"))
+
+    def key(self) -> str:
+        """Deterministic content address of the (normalised) campaign.
+
+        Unlike job keys this is version-independent: the same matrix keeps
+        one campaign id across code versions; the *job* keys underneath it
+        decide what is actually recomputed.
+        """
+        return hashlib.sha256(self.canonical().encode()).hexdigest()

@@ -7,10 +7,25 @@ previous campaign without touching the scheduler.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.campaign.store import ResultStore, StoredResult
 from repro.reporting import ResultTable
+
+
+def _scoped(
+    results: List[StoredResult], keys: Optional[Sequence[str]]
+) -> List[StoredResult]:
+    """Restrict results to a key subset (e.g. one campaign's jobs).
+
+    ``keys=None`` keeps the whole store — the CLI's behaviour; the HTTP
+    service passes the addressed campaign's job keys so ``/campaigns/{id}``
+    reports never leak other campaigns sharing the store.
+    """
+    if keys is None:
+        return results
+    key_set = frozenset(keys)
+    return [result for result in results if result.key in key_set]
 
 
 def _format_config(payload: Dict[str, object]) -> str:
@@ -30,13 +45,14 @@ def leaderboard(
     gpu: Optional[str] = None,
     dtype: Optional[str] = None,
     top: int = 10,
+    keys: Optional[Sequence[str]] = None,
 ) -> ResultTable:
     """The best-performing stored results of one kind, fastest first."""
     metric = {"tune": "tuned_gflops", "exhaustive": "best_gflops", "baseline": "gflops",
               "predict": "simulated_gflops"}.get(kind)
     if metric is None:
         raise ValueError(f"no leaderboard metric for job kind {kind!r}")
-    results = store.query(kind=kind, gpu=gpu, dtype=dtype, status="ok")
+    results = _scoped(store.query(kind=kind, gpu=gpu, dtype=dtype, status="ok"), keys)
     results.sort(
         key=lambda r: (-float(r.payload.get(metric, 0.0)), r.pattern, r.gpu, r.dtype)
     )
@@ -66,14 +82,18 @@ def _matrix_columns(results: List[StoredResult]) -> List[Tuple[str, str]]:
     return columns
 
 
-def table5_matrix(store: ResultStore, value: str = "tuned_gflops") -> ResultTable:
+def table5_matrix(
+    store: ResultStore,
+    value: str = "tuned_gflops",
+    keys: Optional[Sequence[str]] = None,
+) -> ResultTable:
     """Table-5-style matrix: one row per stencil, one column per GPU x dtype.
 
     ``value`` selects the cell contents: any tuning payload field
     (``tuned_gflops``, ``model_gflops``, ``model_accuracy``) or ``"config"``
     for the tuned blocking parameters.
     """
-    results = store.query(kind="tune", status="ok")
+    results = _scoped(store.query(kind="tune", status="ok"), keys)
     columns = _matrix_columns(results)
     cells: Dict[Tuple[str, str, str], object] = {}
     patterns: List[str] = []
@@ -96,9 +116,11 @@ def table5_matrix(store: ResultStore, value: str = "tuned_gflops") -> ResultTabl
     return table
 
 
-def accuracy_summary(store: ResultStore) -> ResultTable:
+def accuracy_summary(
+    store: ResultStore, keys: Optional[Sequence[str]] = None
+) -> ResultTable:
     """Model-vs-simulated accuracy per GPU x dtype (the paper's Section 7.2)."""
-    results = store.query(kind="tune", status="ok")
+    results = _scoped(store.query(kind="tune", status="ok"), keys)
     groups: Dict[Tuple[str, str], List[float]] = {}
     for result in results:
         accuracy = result.payload.get("model_accuracy")
@@ -121,11 +143,13 @@ def accuracy_summary(store: ResultStore) -> ResultTable:
     return table
 
 
-def campaign_summary(store: ResultStore) -> ResultTable:
+def campaign_summary(
+    store: ResultStore, keys: Optional[Sequence[str]] = None
+) -> ResultTable:
     """Store occupancy: how many results of each kind and status."""
     table = ResultTable("Campaign store summary", ["kind", "status", "results"])
     rows: Dict[Tuple[str, str], int] = {}
-    for result in store.query():
+    for result in _scoped(store.query(), keys):
         rows[(result.kind, result.status)] = rows.get((result.kind, result.status), 0) + 1
     for (kind, status), count in sorted(rows.items()):
         table.add_row(kind, status, count)

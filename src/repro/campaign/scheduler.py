@@ -178,6 +178,28 @@ class CampaignScheduler:
             (cached if self.store.has_ok(job) else pending).append(job)
         return cached, pending
 
+    def job_keys(self) -> List[str]:
+        """Content addresses of this shard's jobs (current code version)."""
+        return [job.key() for job in self.jobs()]
+
+    def progress_counts(self) -> Dict[str, int]:
+        """Live per-campaign progress, read straight from the store.
+
+        Because every result commits the moment it finishes, counting this
+        campaign's job keys in the store is an exact progress measure even
+        while another process (or the service worker) is running the jobs.
+        """
+        keys = self.job_keys()
+        statuses = self.store.statuses(keys)
+        done = sum(1 for status in statuses.values() if status == "ok")
+        failed = len(statuses) - done
+        return {
+            "total": len(keys),
+            "done": done,
+            "failed": failed,
+            "pending": len(keys) - len(statuses),
+        }
+
     # -- execution -------------------------------------------------------------
     @staticmethod
     def _payload_configs(kind: str, payload: Dict[str, object]) -> int:

@@ -6,12 +6,29 @@ killed campaign loses at most the jobs that were mid-flight.  Exports are
 produced in a fixed sort order with timestamps excluded, which makes the
 final artifacts byte-identical whether a campaign ran straight through or
 was interrupted and resumed.
+
+Concurrency
+-----------
+File-backed stores are safe to share between threads and processes: the
+database runs in WAL mode (readers never block the writer and vice versa)
+with a generous busy timeout, and every thread gets its **own** SQLite
+connection — one writer per connection, handed out lazily, never shared.
+That is what lets the HTTP campaign service point request-handler threads,
+the async worker and external CLI invocations at one store file.  Because
+commits are single ``INSERT OR REPLACE`` statements keyed by content
+address, concurrent writers can interleave in any order (including writing
+the same key) without lost updates or torn rows.
+
+``":memory:"`` stores keep a single shared connection (a private in-memory
+database exists per connection, so per-thread connections would see nothing
+of each other); a lock serialises its writers.
 """
 
 from __future__ import annotations
 
 import json
 import sqlite3
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -97,26 +114,77 @@ class ResultStore:
     """Content-addressed store of campaign results on one SQLite file.
 
     Pass ``":memory:"`` for an ephemeral in-process store (handy in tests).
-    The store is safe for one writer at a time; the campaign scheduler
-    funnels every worker's result through the parent process, so workers
-    never open the database themselves.
+    File stores may be shared freely: each thread lazily opens its own WAL
+    connection (one writer per connection), and SQLite's busy timeout covers
+    writer contention across threads *and* processes — multiple submitters,
+    the service worker, and CLI runs can all point at one file.
     """
 
-    def __init__(self, path: Union[str, Path] = "campaign.sqlite") -> None:
+    #: How long a writer waits on a locked database before giving up.
+    BUSY_TIMEOUT_S = 30.0
+
+    def __init__(
+        self, path: Union[str, Path] = "campaign.sqlite", timeout_s: Optional[float] = None
+    ) -> None:
         self.path = str(path)
-        if self.path != ":memory:":
+        self.timeout_s = self.BUSY_TIMEOUT_S if timeout_s is None else float(timeout_s)
+        self._lock = threading.Lock()
+        # Serialises writers on the shared in-memory connection; file stores
+        # rely on WAL + busy timeout instead (their writers never share one
+        # connection).
+        self._write_lock = threading.Lock()
+        self._local = threading.local()
+        self._all_connections: List[sqlite3.Connection] = []
+        self._shared: Optional[sqlite3.Connection] = None
+        self._closed = False
+        if self.path == ":memory:":
+            self._shared = self._open_connection()
+        else:
             Path(self.path).parent.mkdir(parents=True, exist_ok=True)
-        self._conn = sqlite3.connect(self.path)
-        self._conn.executescript(_SCHEMA)
-        self._conn.execute(
+            self._conn  # eagerly create the schema on the opening thread
+
+    def _open_connection(self) -> sqlite3.Connection:
+        # check_same_thread=False lets close() shut down connections that
+        # were opened by (possibly finished) worker threads; each connection
+        # is still *used* by exactly one thread.
+        conn = sqlite3.connect(
+            self.path, timeout=self.timeout_s, check_same_thread=False
+        )
+        if self.path != ":memory:":
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute(f"PRAGMA busy_timeout={int(self.timeout_s * 1000)}")
+        conn.executescript(_SCHEMA)
+        conn.execute(
             "INSERT OR IGNORE INTO meta (k, v) VALUES ('schema_version', ?)",
             (str(SCHEMA_VERSION),),
         )
-        self._conn.commit()
+        conn.commit()
+        with self._lock:
+            if self._closed:
+                conn.close()
+                raise sqlite3.ProgrammingError("store is closed")
+            self._all_connections.append(conn)
+        return conn
+
+    @property
+    def _conn(self) -> sqlite3.Connection:
+        """This thread's connection (the shared one for ``":memory:"``)."""
+        if self._shared is not None:
+            return self._shared
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = self._open_connection()
+            self._local.conn = conn
+        return conn
 
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> None:
-        self._conn.close()
+        with self._lock:
+            self._closed = True
+            connections, self._all_connections = self._all_connections, []
+        for conn in connections:
+            conn.close()
 
     def __enter__(self) -> "ResultStore":
         return self
@@ -125,6 +193,17 @@ class ResultStore:
         self.close()
 
     # -- writes ----------------------------------------------------------------
+    def _commit(self, sql: str, args: Sequence[object]) -> sqlite3.Cursor:
+        """Execute one write statement and commit it immediately."""
+        if self._shared is not None:
+            with self._write_lock:
+                cursor = self._conn.execute(sql, args)
+                self._conn.commit()
+                return cursor
+        cursor = self._conn.execute(sql, args)
+        self._conn.commit()
+        return cursor
+
     def put(
         self,
         spec: JobSpec,
@@ -136,7 +215,7 @@ class ResultStore:
         """Commit one result immediately (incremental commit = resumability)."""
         version = code_version if code_version is not None else repro.__version__
         key = spec.key(version)
-        self._conn.execute(
+        self._commit(
             "INSERT OR REPLACE INTO results "
             "(key, kind, pattern, gpu, dtype, grid, time_steps, code_version, "
             " status, payload, elapsed_s, created_at) "
@@ -156,22 +235,16 @@ class ResultStore:
                 time.time(),
             ),
         )
-        self._conn.commit()
         return key
 
     def delete(self, key: str) -> bool:
-        cursor = self._conn.execute("DELETE FROM results WHERE key = ?", (key,))
-        self._conn.commit()
-        return cursor.rowcount > 0
+        return self._commit("DELETE FROM results WHERE key = ?", (key,)).rowcount > 0
 
     def purge(self, status: Optional[str] = None) -> int:
         """Drop rows (all of them, or only those with the given status)."""
         if status is None:
-            cursor = self._conn.execute("DELETE FROM results")
-        else:
-            cursor = self._conn.execute("DELETE FROM results WHERE status = ?", (status,))
-        self._conn.commit()
-        return cursor.rowcount
+            return self._commit("DELETE FROM results", ()).rowcount
+        return self._commit("DELETE FROM results WHERE status = ?", (status,)).rowcount
 
     # -- reads -----------------------------------------------------------------
     def _row_to_result(self, row: Sequence[object]) -> StoredResult:
@@ -220,6 +293,25 @@ class ResultStore:
 
     def keys(self) -> List[str]:
         return [row[0] for row in self._conn.execute("SELECT key FROM results ORDER BY key")]
+
+    def statuses(self, keys: Sequence[str]) -> Dict[str, str]:
+        """Status by key for the subset of ``keys`` present in the store.
+
+        Absent keys are simply missing from the result — that is how the
+        service derives queued/running/done counts for one campaign without
+        scanning the whole store.
+        """
+        out: Dict[str, str] = {}
+        chunk_size = 400  # comfortably below SQLite's bound-parameter limit
+        keys = list(keys)
+        for start in range(0, len(keys), chunk_size):
+            chunk = keys[start : start + chunk_size]
+            marks = ",".join("?" * len(chunk))
+            for key, status in self._conn.execute(
+                f"SELECT key, status FROM results WHERE key IN ({marks})", chunk
+            ):
+                out[key] = status
+        return out
 
     def query(
         self,
@@ -274,6 +366,15 @@ class ResultStore:
         ]
         return ResultTable.from_records(title, records, headers=EXPORT_COLUMNS)
 
+    @staticmethod
+    def record_line(record: dict) -> str:
+        """The canonical one-line JSONL encoding of one export record.
+
+        File exports and the service's streamed ``/export`` endpoint share
+        this encoder, which is what makes them byte-identical.
+        """
+        return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
     def export_jsonl(
         self,
         path: Union[str, Path],
@@ -289,10 +390,7 @@ class ResultStore:
         path.parent.mkdir(parents=True, exist_ok=True)
         if records is None:
             records = self.export_records(**filters)
-        lines = [
-            json.dumps(record, sort_keys=True, separators=(",", ":"))
-            for record in records
-        ]
+        lines = [self.record_line(record) for record in records]
         path.write_text("\n".join(lines) + ("\n" if lines else ""))
         return path
 

@@ -21,6 +21,11 @@ Subcommands
     Batch service: run (or resume) a campaign over the benchmark x GPU
     matrix against a persistent result store, inspect its progress, render
     leaderboards/Table-5 matrices, and export diff-able JSONL/CSV artifacts.
+``an5d serve [--host 127.0.0.1 --port 8000 --store campaign.sqlite]``
+    Long-running HTTP front-end over the same campaign layer: submit specs
+    with ``POST /campaigns``, poll ``GET /campaigns/{id}``, stream reports
+    and exports.  Results land in the shared store, so the service and the
+    CLI subcommands above are interchangeable.
 
 Failures exit non-zero: ``1`` for work that ran and failed (verification
 mismatch, failed campaign jobs), ``2`` for requests that could not be
@@ -220,6 +225,8 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         shards=args.shards,
         shard_index=args.shard,
         top_k=args.top_k,
+        interior_2d=args.interior_2d,
+        interior_3d=args.interior_3d,
         progress=progress if args.verbose else None,
     )
     for key, value in outcome.as_row().items():
@@ -307,6 +314,14 @@ def _add_campaign_parsers(sub: argparse._SubParsersAction) -> None:
     run_parser.add_argument("--store", default="campaign.sqlite")
     run_parser.add_argument("--workers", type=int, default=1)
     run_parser.add_argument("--time-steps", type=int, default=1000)
+    run_parser.add_argument(
+        "--interior-2d", type=_parse_bs, default=None,
+        help="2-D interior grid, e.g. 512x512 (default: the paper's 16384x16384)",
+    )
+    run_parser.add_argument(
+        "--interior-3d", type=_parse_bs, default=None,
+        help="3-D interior grid, e.g. 48x48x48 (default: the paper's 512^3)",
+    )
     run_parser.add_argument("--timeout", type=float, default=None, help="per-job seconds")
     run_parser.add_argument("--retries", type=int, default=1)
     run_parser.add_argument("--shards", type=int, default=1)
@@ -339,6 +354,52 @@ def _add_campaign_parsers(sub: argparse._SubParsersAction) -> None:
         "--all", action="store_true", help="include failed results, not just ok"
     )
     export_parser.set_defaults(func=_cmd_campaign_export)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import CampaignServer, WorkerSettings
+
+    server = CampaignServer(
+        host=args.host,
+        port=args.port,
+        store=args.store,
+        settings=WorkerSettings(
+            workers=args.workers,
+            concurrency=args.concurrency,
+            timeout=args.timeout,
+            retries=args.retries,
+        ),
+        quiet=not args.verbose,
+    )
+    print(f"an5d campaign service on {server.url} (store: {args.store})")
+    print("endpoints: POST /campaigns  GET /campaigns/{id}[/report|/export]  GET /healthz")
+    sys.stdout.flush()
+    try:
+        server.run()
+    finally:
+        server.stop()
+    return 0
+
+
+def _add_serve_parser(sub: argparse._SubParsersAction) -> None:
+    serve_parser = sub.add_parser(
+        "serve", help="serve campaigns over HTTP against a shared result store"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8000, help="0 = ephemeral port")
+    serve_parser.add_argument("--store", default="campaign.sqlite")
+    serve_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="multiprocessing fan-out for scalar-simulator jobs",
+    )
+    serve_parser.add_argument(
+        "--concurrency", type=int, default=2,
+        help="campaigns the async worker overlaps",
+    )
+    serve_parser.add_argument("--timeout", type=float, default=None, help="per-job seconds")
+    serve_parser.add_argument("--retries", type=int, default=1)
+    serve_parser.add_argument("--verbose", "-v", action="store_true", help="log requests")
+    serve_parser.set_defaults(func=_cmd_serve)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -412,6 +473,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.set_defaults(func=_cmd_compare)
 
     _add_campaign_parsers(sub)
+    _add_serve_parser(sub)
 
     return parser
 

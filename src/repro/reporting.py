@@ -104,6 +104,22 @@ class ResultTable:
     def to_records(self) -> List[dict]:
         return [dict(zip(self.headers, row)) for row in self.rows]
 
+    def to_payload(self) -> dict:
+        """JSON-safe wire encoding (title/headers/rows) of the table."""
+        return {
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "ResultTable":
+        """Rebuild a table from :meth:`to_payload` output (e.g. service JSON)."""
+        table = cls(str(payload["title"]), list(payload["headers"]))  # type: ignore[arg-type]
+        for row in payload["rows"]:  # type: ignore[union-attr]
+            table.add_row(*row)
+        return table
+
     # -- persistence --------------------------------------------------------------
     def save(self, path: str | Path) -> Path:
         """Save in the format implied by the file suffix (.csv/.json/.md/.txt)."""

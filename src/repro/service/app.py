@@ -1,0 +1,286 @@
+"""The campaign service application and its stdlib HTTP server.
+
+:class:`CampaignApp` owns the shared :class:`~repro.campaign.store.ResultStore`
+(WAL mode, one connection per thread) and the async
+:class:`~repro.service.worker.CampaignWorker`; its handler methods implement
+the endpoints listed in :mod:`repro.service.routes` and are plain functions
+over :class:`~repro.service.routes.Request`, so the whole service can be
+exercised without a socket.
+
+:class:`CampaignServer` wraps the app in a ``ThreadingHTTPServer``: request
+threads only ever read the store and enqueue work; the worker loop owns all
+campaign execution.  Bind to port ``0`` for an ephemeral port (tests, CI).
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional, Union
+from urllib.parse import parse_qsl, urlsplit
+
+import repro
+from repro.campaign.report import REPORTS
+from repro.campaign.store import ResultStore
+from repro.service.routes import Request, Response, dispatch, route_table
+from repro.service.worker import CampaignWorker, WorkerSettings
+from repro.service.wire import (
+    JSONL_TYPE,
+    WireError,
+    decode_campaign_spec,
+    etag,
+    render_table,
+    spec_summary,
+)
+
+
+class CampaignApp:
+    """Endpoint handlers over one store and one worker."""
+
+    def __init__(
+        self,
+        store: Union[str, Path, ResultStore] = "campaign.sqlite",
+        settings: Optional[WorkerSettings] = None,
+    ) -> None:
+        self._owns_store = not isinstance(store, ResultStore)
+        self.store = ResultStore(store) if self._owns_store else store
+        self.worker = CampaignWorker(self.store, settings)
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self) -> None:
+        self.worker.start()
+
+    def close(self) -> None:
+        stopped = self.worker.stop()
+        # If the worker could not drain in time, a campaign is still running
+        # on its executor thread; leaking the store beats yanking SQLite
+        # connections out from under an in-flight commit.
+        if self._owns_store and stopped:
+            self.store.close()
+
+    def handle(self, request: Request) -> Response:
+        return dispatch(self, request)
+
+    # -- endpoint handlers -----------------------------------------------------
+    def health(self, request: Request) -> Response:
+        return Response.json(
+            {
+                "status": "ok",
+                "version": repro.__version__,
+                "store": self.store.path,
+                "results": self.store.count(),
+                "campaigns": len(self.worker.records()),
+                "routes": route_table(),
+            }
+        )
+
+    def submit_campaign(self, request: Request) -> Response:
+        spec = decode_campaign_spec(request.body)
+        record = self.worker.submit(spec)
+        payload = {
+            "id": record.id,
+            "state": record.state,
+            "runs": record.runs,
+            "jobs": spec.size(),
+            "url": f"/campaigns/{record.id}",
+            **spec_summary(spec),
+        }
+        return Response.json(payload, status=202)
+
+    def list_campaigns(self, request: Request) -> Response:
+        return Response.json(
+            {"campaigns": [record.summary() for record in self.worker.records()]}
+        )
+
+    def campaign_status(self, request: Request, cid: str) -> Response:
+        status = self.worker.status(cid)
+        if status is None:
+            raise WireError(f"unknown campaign {cid!r}", status=404)
+        return Response.json(status)
+
+    def campaign_report(self, request: Request, cid: str) -> Response:
+        keys = self.worker.job_keys(cid)
+        if keys is None:
+            raise WireError(f"unknown campaign {cid!r}", status=404)
+        kind = request.param("kind", "table5")
+        builder = REPORTS.get(kind)
+        if builder is None:
+            raise WireError(
+                f"unknown report kind {kind!r}; available: {', '.join(REPORTS)}"
+            )
+        options = {}
+        if kind == "leaderboard":
+            options = {
+                "gpu": request.query.get("gpu"),
+                "dtype": request.query.get("dtype"),
+                "top": int(request.param("top", "10")),
+            }
+        elif kind == "table5":
+            options = {"value": request.param("value", "tuned_gflops")}
+        # Scoped to the addressed campaign's job keys: sharing a store with
+        # other campaigns never leaks their rows into this report.  (For a
+        # store holding just this campaign that is exactly what
+        # `an5d campaign report --store ...` renders.)
+        table = builder(self.store, keys=keys, **options)
+        body, content_type = render_table(table, request.param("format", "json"))
+        return Response(body=body, content_type=content_type)
+
+    def campaign_export(self, request: Request, cid: str) -> Response:
+        keys = self.worker.job_keys(cid)
+        if keys is None:
+            raise WireError(f"unknown campaign {cid!r}", status=404)
+        ok_only = request.param("status", "ok") == "ok"
+        key_set = frozenset(keys)
+        records = [
+            record
+            for record in self.store.export_records(ok_only=ok_only)
+            if record["key"] in key_set
+        ]
+        lines = [self.store.record_line(record) + "\n" for record in records]
+        digest = etag("".join(lines).encode("utf-8"))
+        return Response(
+            content_type=JSONL_TYPE,
+            headers={"ETag": digest, "X-Result-Count": str(len(records))},
+            stream=(line.encode("utf-8") for line in lines),
+        )
+
+
+class _CampaignRequestHandler(BaseHTTPRequestHandler):
+    """Bridges http.server onto :meth:`CampaignApp.handle`."""
+
+    app: CampaignApp  # bound by CampaignServer via a subclass attribute
+    protocol_version = "HTTP/1.1"
+    quiet = True
+
+    # -- plumbing --------------------------------------------------------------
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        if not self.quiet:  # pragma: no cover — verbose serving only
+            super().log_message(format, *args)
+
+    def _read_request(self) -> Request:
+        parts = urlsplit(self.path)
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b""
+        return Request(
+            method=self.command,
+            path=parts.path,
+            query=dict(parse_qsl(parts.query)),
+            body=body,
+        )
+
+    def _send(self, response: Response) -> None:
+        if response.stream is not None:
+            self._send_chunked(response)
+            return
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        for name, value in response.headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(response.body)
+
+    def _send_chunked(self, response: Response) -> None:
+        """Stream an iterable body with chunked transfer encoding."""
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Transfer-Encoding", "chunked")
+        for name, value in response.headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        for chunk in response.stream:
+            if not chunk:
+                continue
+            self.wfile.write(f"{len(chunk):x}\r\n".encode("ascii"))
+            self.wfile.write(chunk)
+            self.wfile.write(b"\r\n")
+        self.wfile.write(b"0\r\n\r\n")
+
+    def _handle(self) -> None:
+        try:
+            response = self.app.handle(self._read_request())
+        except Exception as error:  # noqa: BLE001 — the server must not die
+            response = Response.error(
+                f"internal error: {type(error).__name__}: {error}", status=500
+            )
+        try:
+            self._send(response)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass  # client went away mid-response
+
+    do_GET = _handle
+    do_POST = _handle
+    do_DELETE = _handle
+    do_PUT = _handle
+
+
+class CampaignServer:
+    """A long-running campaign service on one store.
+
+    >>> server = CampaignServer(port=0, store="campaign.sqlite")
+    >>> server.start()          # background serving (tests, embedding)
+    >>> server.url
+    'http://127.0.0.1:54321'
+    >>> server.stop()
+
+    ``run()`` serves on the calling thread until interrupted (the CLI path).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        store: Union[str, Path, ResultStore] = "campaign.sqlite",
+        settings: Optional[WorkerSettings] = None,
+        quiet: bool = True,
+    ) -> None:
+        self.app = CampaignApp(store, settings)
+        handler = type(
+            "BoundCampaignRequestHandler",
+            (_CampaignRequestHandler,),
+            {"app": self.app, "quiet": quiet},
+        )
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+        self.host, self.port = self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self) -> None:
+        """Serve in a background thread (returns once accepting requests)."""
+        self.app.start()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="campaign-http",
+            daemon=True,
+            kwargs={"poll_interval": 0.05},
+        )
+        self._thread.start()
+
+    def run(self) -> None:
+        """Serve on the calling thread until KeyboardInterrupt."""
+        self.app.start()
+        try:
+            self._httpd.serve_forever(poll_interval=0.2)
+        except KeyboardInterrupt:  # pragma: no cover — interactive only
+            pass
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.app.close()
+
+    def __enter__(self) -> "CampaignServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

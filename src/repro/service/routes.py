@@ -1,0 +1,104 @@
+"""Routing table of the campaign service.
+
+The router is transport-agnostic: it maps a :class:`Request` (method, path,
+query, body) to a :class:`Response` by calling handler methods on the app
+object, which makes every endpoint testable without opening a socket.
+
+Endpoints
+---------
+
+``GET  /healthz``
+    Liveness probe: store path and campaign counts.
+``POST /campaigns``
+    Submit a campaign spec (JSON); returns its id (202).
+``GET  /campaigns``
+    All known campaigns in submission order.
+``GET  /campaigns/{id}``
+    Lifecycle state plus queued/running/done job counts from the store.
+``GET  /campaigns/{id}/report?kind=leaderboard|table5|accuracy|summary``
+    A rendered report table (``format=json|jsonl|text``).
+``GET  /campaigns/{id}/export``
+    The campaign's results, streamed as deterministic JSONL.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.service.wire import JSON_TYPE, WireError, json_body
+
+
+@dataclass
+class Request:
+    """One decoded HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def param(self, name: str, default: str) -> str:
+        return self.query.get(name, default)
+
+
+@dataclass
+class Response:
+    """One response; ``stream`` (an iterable of byte chunks) wins over ``body``."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = JSON_TYPE
+    headers: Dict[str, str] = field(default_factory=dict)
+    stream: Optional[Iterable[bytes]] = None
+
+    @classmethod
+    def json(cls, payload: object, status: int = 200, **headers: str) -> "Response":
+        return cls(status=status, body=json_body(payload), headers=dict(headers))
+
+    @classmethod
+    def error(cls, message: str, status: int) -> "Response":
+        return cls.json({"error": message}, status=status)
+
+
+#: (method, compiled path pattern, app handler name)
+_ROUTES: Tuple[Tuple[str, "re.Pattern[str]", str], ...] = tuple(
+    (method, re.compile(pattern), handler)
+    for method, pattern, handler in (
+        ("GET", r"^/healthz$", "health"),
+        ("POST", r"^/campaigns$", "submit_campaign"),
+        ("GET", r"^/campaigns$", "list_campaigns"),
+        ("GET", r"^/campaigns/(?P<cid>[A-Za-z0-9_-]+)$", "campaign_status"),
+        ("GET", r"^/campaigns/(?P<cid>[A-Za-z0-9_-]+)/report$", "campaign_report"),
+        ("GET", r"^/campaigns/(?P<cid>[A-Za-z0-9_-]+)/export$", "campaign_export"),
+    )
+)
+
+
+def dispatch(app: object, request: Request) -> Response:
+    """Route one request to the app, mapping failures to JSON errors."""
+    matched_path = False
+    for method, pattern, handler_name in _ROUTES:
+        match = pattern.match(request.path)
+        if match is None:
+            continue
+        matched_path = True
+        if method != request.method:
+            continue
+        handler: Callable[..., Response] = getattr(app, handler_name)
+        try:
+            return handler(request, **match.groupdict())
+        except WireError as error:
+            return Response.error(str(error), status=error.status)
+        except (KeyError, ValueError) as error:
+            message = error.args[0] if error.args and isinstance(error.args[0], str) else error
+            return Response.error(str(message), status=400)
+    if matched_path:
+        return Response.error(f"method {request.method} not allowed here", status=405)
+    return Response.error(f"no route for {request.path}", status=404)
+
+
+def route_table() -> List[str]:
+    """Human-readable route listing (surfaced by /healthz)."""
+    return sorted({f"{method} {pattern.pattern}" for method, pattern, _ in _ROUTES})

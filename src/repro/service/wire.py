@@ -1,0 +1,107 @@
+"""Wire format of the campaign service.
+
+Everything that crosses the HTTP boundary goes through this module: strict
+JSON decoding of submitted :class:`~repro.campaign.jobs.CampaignSpec` (and
+:class:`~repro.campaign.jobs.JobSpec`) payloads, campaign ids, and the
+rendering of :class:`~repro.reporting.ResultTable` reports as JSON, JSONL
+or the CLI's plain-text layout.
+
+The decoders are deliberately unforgiving — unknown fields are a 400, not a
+silently ignored typo — because a campaign spec is a *content address*: two
+submissions must either hash identically or fail loudly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Mapping, Tuple
+
+from repro.campaign.jobs import CampaignSpec, JobSpec
+from repro.reporting import ResultTable
+
+#: Media types used by the service responses.
+JSON_TYPE = "application/json"
+JSONL_TYPE = "application/jsonl"
+TEXT_TYPE = "text/plain; charset=utf-8"
+
+#: Length of the campaign-id digest suffix ("c" + first 12 hex chars).
+_ID_DIGITS = 12
+
+
+class WireError(ValueError):
+    """A request that cannot be served; carries the HTTP status to send."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def campaign_id(spec: CampaignSpec) -> str:
+    """Short, deterministic id of a campaign (prefix of its content address).
+
+    Alias-equivalent submissions (``"v100"`` vs ``"V100"``, repeated matrix
+    entries, an explicit all-benchmarks list vs the default) share one id,
+    so re-submitting the same work converges on the same campaign record.
+    """
+    return "c" + spec.key()[:_ID_DIGITS]
+
+
+def decode_json(body: bytes) -> object:
+    """Parse a request body as JSON, mapping failures to HTTP 400."""
+    if not body:
+        raise WireError("request body must be a JSON object")
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise WireError(f"invalid JSON body: {error}") from None
+
+
+def decode_campaign_spec(body: bytes) -> CampaignSpec:
+    """Decode and validate a submitted campaign spec (strict, alias-safe)."""
+    data = decode_json(body)
+    try:
+        return CampaignSpec.from_json(data)  # type: ignore[arg-type]
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args and isinstance(error.args[0], str) else error
+        raise WireError(f"invalid campaign spec: {message}") from None
+
+
+def decode_job_spec(data: Mapping[str, object]) -> JobSpec:
+    """Decode one job spec mapping (used by tests and future job routes)."""
+    try:
+        return JobSpec.from_json(data)
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args and isinstance(error.args[0], str) else error
+        raise WireError(f"invalid job spec: {message}") from None
+
+
+def json_body(payload: object) -> bytes:
+    """Canonical JSON response body (sorted keys, trailing newline)."""
+    return (json.dumps(payload, sort_keys=True, indent=2) + "\n").encode("utf-8")
+
+
+def render_table(table: ResultTable, fmt: str) -> Tuple[bytes, str]:
+    """Render a report table in the requested format.
+
+    ``json`` is :meth:`ResultTable.to_payload`, ``jsonl`` is one object per
+    row, and ``text`` is exactly what ``an5d campaign report`` prints.
+    """
+    if fmt == "json":
+        return json_body(table.to_payload()), JSON_TYPE
+    if fmt == "jsonl":
+        body = table.to_jsonl()
+        return (body + "\n" if body else "").encode("utf-8"), JSONL_TYPE
+    if fmt == "text":
+        return (table.to_text() + "\n").encode("utf-8"), TEXT_TYPE
+    raise WireError(f"unknown report format {fmt!r}; expected json, jsonl or text")
+
+
+def etag(body: bytes) -> str:
+    """A strong ETag for deterministic bodies (exports never lie)."""
+    return '"' + hashlib.sha256(body).hexdigest()[:16] + '"'
+
+
+def spec_summary(spec: CampaignSpec) -> Dict[str, object]:
+    """The spec fields echoed back in submit/status responses."""
+    return {"spec": spec.to_json(), "describe": spec.describe()}

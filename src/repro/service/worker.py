@@ -1,0 +1,231 @@
+"""Async in-process campaign worker.
+
+One daemon thread runs an asyncio event loop that drains submitted
+:class:`~repro.campaign.jobs.CampaignSpec` records through the existing
+:class:`~repro.campaign.scheduler.CampaignScheduler`:
+
+* batched model ``predict``/``tune`` work is NumPy-bound and fast (PR 3),
+  so those campaigns effectively run "inline" on an executor thread;
+* scalar-simulator job kinds fan out to the scheduler's multiprocessing
+  pool exactly as they do under ``an5d campaign run``;
+* a semaphore overlaps several light campaigns so one long sweep does not
+  head-of-line-block a model-only campaign submitted after it.
+
+Every result commits to the shared store the moment it finishes, which is
+the whole resume story: killing the server process loses at most in-flight
+jobs, and the next submission of the same spec is served from the store.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.campaign.jobs import CampaignSpec
+from repro.campaign.scheduler import CampaignOutcome, CampaignScheduler
+from repro.campaign.store import ResultStore
+from repro.service.wire import campaign_id
+
+#: Campaign lifecycle states reported by the status endpoint.
+STATES = ("queued", "running", "done", "failed")
+
+
+@dataclass
+class CampaignRecord:
+    """One submitted campaign and the outcome of its most recent run."""
+
+    id: str
+    spec: CampaignSpec
+    state: str = "queued"
+    runs: int = 0
+    submitted_seq: int = 0
+    outcome: Optional[CampaignOutcome] = None
+    error: Optional[str] = None
+
+    def summary(self) -> Dict[str, object]:
+        summary: Dict[str, object] = {
+            "id": self.id,
+            "state": self.state,
+            "runs": self.runs,
+            "describe": self.spec.describe(),
+        }
+        if self.outcome is not None:
+            summary["outcome"] = self.outcome.as_row()
+        if self.error is not None:
+            summary["error"] = self.error
+        return summary
+
+
+@dataclass
+class WorkerSettings:
+    """Scheduler knobs applied to every campaign the worker runs."""
+
+    workers: int = 1  # multiprocessing fan-out for scalar-simulator jobs
+    concurrency: int = 2  # campaigns overlapped by the async loop
+    timeout: Optional[float] = None
+    retries: int = 1
+    shards: int = 1
+    shard_index: int = 0
+
+
+class CampaignWorker:
+    """Drains submitted campaigns through the scheduler on an asyncio loop."""
+
+    def __init__(self, store: ResultStore, settings: Optional[WorkerSettings] = None) -> None:
+        self.store = store
+        self.settings = settings or WorkerSettings()
+        self._records: Dict[str, CampaignRecord] = {}
+        self._lock = threading.Lock()
+        self._seq = itertools.count(1)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._ready = threading.Event()
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run_loop, name="campaign-worker", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=10.0):  # pragma: no cover — startup hang
+            raise RuntimeError("campaign worker event loop failed to start")
+
+    def stop(self, timeout: float = 10.0) -> bool:
+        """Finish in-flight campaigns, then stop the loop thread.
+
+        Returns True when the drain completed; False means a campaign is
+        still running past the timeout (callers must then leave shared
+        resources — the store — alive for it).
+        """
+        if self._loop is None or self._thread is None:
+            return True
+        self._loop.call_soon_threadsafe(self._queue.put_nowait, None)
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            return False
+        self._thread = None
+        self._loop = None
+        self._ready.clear()
+        return True
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        self._queue = asyncio.Queue()
+        loop.call_soon(self._ready.set)
+        try:
+            loop.run_until_complete(self._drain())
+        finally:
+            loop.close()
+
+    async def _drain(self) -> None:
+        semaphore = asyncio.Semaphore(max(1, self.settings.concurrency))
+        tasks: set = set()
+        while True:
+            record = await self._queue.get()
+            if record is None:
+                break
+            task = asyncio.create_task(self._run_one(record, semaphore))
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def _run_one(self, record: CampaignRecord, semaphore: asyncio.Semaphore) -> None:
+        async with semaphore:
+            with self._lock:
+                record.state = "running"
+            loop = asyncio.get_running_loop()
+            try:
+                # The scheduler blocks (NumPy, SQLite, mp pool), so it runs on
+                # an executor thread; the loop stays free to start overlapping
+                # campaigns and to answer nothing — HTTP threads never enter it.
+                outcome = await loop.run_in_executor(None, self._execute, record.spec)
+            except Exception as error:  # noqa: BLE001 — surfaced via status
+                with self._lock:
+                    record.state = "failed"
+                    record.error = f"{type(error).__name__}: {error}"
+                return
+            with self._lock:
+                record.outcome = outcome
+                record.error = None
+                record.state = "done" if outcome.ok else "failed"
+
+    def _scheduler(self, spec: CampaignSpec) -> CampaignScheduler:
+        """One scheduler per use, always under this worker's shard settings —
+        execution, progress counts and export key sets must agree on which
+        slice of the campaign this instance owns."""
+        return CampaignScheduler(
+            spec,
+            self.store,
+            workers=self.settings.workers,
+            timeout=self.settings.timeout,
+            retries=self.settings.retries,
+            shards=self.settings.shards,
+            shard_index=self.settings.shard_index,
+        )
+
+    def _execute(self, spec: CampaignSpec) -> CampaignOutcome:
+        # Runs on an executor thread: the shared store hands this thread its
+        # own SQLite connection (one writer per connection).
+        return self._scheduler(spec).run()
+
+    # -- submission / inspection ----------------------------------------------
+    def submit(self, spec: CampaignSpec) -> CampaignRecord:
+        """Enqueue a campaign; idempotent while an equal spec is in flight.
+
+        A finished (done/failed) campaign re-enqueues: the scheduler dedupes
+        against the store, so a warm re-submission costs one plan pass and
+        reports ``cache_hit_rate == 1.0``.
+        """
+        if self._loop is None:
+            raise RuntimeError("campaign worker is not running")
+        cid = campaign_id(spec)
+        with self._lock:
+            record = self._records.get(cid)
+            if record is None:
+                record = CampaignRecord(id=cid, spec=spec, submitted_seq=next(self._seq))
+                self._records[cid] = record
+            elif record.state in ("queued", "running"):
+                return record
+            else:
+                record.state = "queued"
+            record.runs += 1
+        self._loop.call_soon_threadsafe(self._queue.put_nowait, record)
+        return record
+
+    def get(self, cid: str) -> Optional[CampaignRecord]:
+        with self._lock:
+            return self._records.get(cid)
+
+    def records(self) -> List[CampaignRecord]:
+        """All known campaigns in submission order."""
+        with self._lock:
+            return sorted(self._records.values(), key=lambda r: r.submitted_seq)
+
+    def status(self, cid: str) -> Optional[Dict[str, object]]:
+        """Lifecycle state plus live per-job counts read from the store."""
+        record = self.get(cid)
+        if record is None:
+            return None
+        with self._lock:
+            payload = record.summary()
+            spec = record.spec
+        payload["jobs"] = self._scheduler(spec).progress_counts()
+        payload["spec"] = spec.to_json()
+        return payload
+
+    def job_keys(self, cid: str) -> Optional[List[str]]:
+        """This instance's slice of the campaign's job content addresses
+        (scopes exports and reports)."""
+        record = self.get(cid)
+        if record is None:
+            return None
+        return self._scheduler(record.spec).job_keys()

@@ -246,3 +246,98 @@ def test_campaign_predict_batch_rejects_mixed_groups():
     ]
     with pytest.raises(ValueError):
         run_predict_jobs(mixed)
+
+
+# -- randomized equivalence sweep -----------------------------------------------------
+#
+# The named cases above pin the two default search spaces; this sweep samples
+# hundreds of (pattern, grid, GPU, dtype) spaces well outside them — small
+# spatial blocks, huge stream blocks, non-square grids, every Table 3 stencil
+# — and holds the batch engine to the same bit-for-bit contract on each.
+# Everything derives from one seed, so a failure reproduces exactly.
+
+RANDOM_SEED = 20260726
+RANDOM_SPACE_COUNT = 200
+
+_AXES = {
+    2: dict(
+        time=tuple(range(1, 17)),
+        spatial=((32,), (64,), (128,), (256,), (512,), (1024,)),
+        stream=(None, 128, 256, 512, 1024, 2048),
+        interiors=((512, 512), (1024, 1024), (2048, 1024), (4096, 4096), (16384, 512)),
+    ),
+    3: dict(
+        time=tuple(range(1, 9)),
+        spatial=((8, 8), (16, 16), (16, 32), (32, 16), (32, 32), (64, 16), (8, 64)),
+        stream=(None, 64, 128, 256),
+        interiors=((48, 48, 48), (64, 64, 64), (128, 96, 64), (256, 256, 256)),
+    ),
+}
+_TIME_STEPS = (50, 100, 500, 1000)
+
+
+def _pick(rng, values, count):
+    """Sample ``count`` distinct entries, preserving declaration order."""
+    chosen = sorted(rng.choice(len(values), size=count, replace=False).tolist())
+    return tuple(values[i] for i in chosen)
+
+
+def _random_case(rng, names, gpus):
+    name = names[int(rng.integers(len(names)))]
+    dtype = ("float", "double")[int(rng.integers(2))]
+    pattern = load_pattern(name, dtype)
+    axes = _AXES[pattern.ndim]
+    space = SearchSpace(
+        time_blocks=_pick(rng, axes["time"], int(rng.integers(1, 4))),
+        spatial_blocks=_pick(rng, axes["spatial"], int(rng.integers(1, 3))),
+        stream_blocks=_pick(rng, axes["stream"], int(rng.integers(1, 3))),
+        register_limits=_pick(rng, REGISTER_LIMITS, int(rng.integers(1, 3))),
+    )
+    interiors = axes["interiors"]
+    grid = GridSpec(
+        interiors[int(rng.integers(len(interiors)))],
+        _TIME_STEPS[int(rng.integers(len(_TIME_STEPS)))],
+    )
+    return pattern, grid, gpus[int(rng.integers(len(gpus)))], space
+
+
+def test_randomized_spaces_match_scalar_oracle():
+    from repro.stencils.library import BENCHMARKS
+
+    rng = np.random.default_rng(RANDOM_SEED)
+    names = [name for name, benchmark in BENCHMARKS.items() if benchmark.ndim in (2, 3)]
+    gpus = (get_gpu("V100"), get_gpu("P100"))
+    simulators = {gpu: TimingSimulator(gpu) for gpu in gpus}
+    compared = 0
+    for case_index in range(RANDOM_SPACE_COUNT):
+        pattern, grid, gpu, space = _random_case(rng, names, gpus)
+        label = f"case {case_index}: {pattern.name} {grid.interior} {space}"
+        configs = list(space.configurations())
+        batch = ConfigBatch.from_space(space)
+        assert list(batch.configs()) == configs, label
+
+        # Pruning decisions agree configuration by configuration.
+        survivors_scalar = prune_configurations(pattern, configs, gpu)
+        survivors = batch.select(prune_mask(pattern, batch, gpu))
+        assert list(survivors.configs()) == survivors_scalar, label
+        if not survivors_scalar:
+            continue
+
+        engine = BatchModelEngine(pattern, grid, gpu)
+        predicted = engine.predict(survivors)
+        for index, config in enumerate(survivors.configs()):
+            scalar = predict_performance(pattern, grid, config, gpu)
+            assert engine.prediction(predicted, index) == scalar, (
+                f"{label}: {config.describe()}"
+            )
+
+        sweep = survivors.with_register_limits(space.register_limits)
+        measured = engine.simulate(sweep)
+        for index, config in enumerate(sweep.configs()):
+            scalar = simulators[gpu].simulate(pattern, grid, config)
+            assert engine.measurement(measured, index) == scalar, (
+                f"{label}: {config.describe()}"
+            )
+            compared += 1
+    # The sweep must have really exercised the engines, not pruned everything.
+    assert compared >= RANDOM_SPACE_COUNT
