@@ -1,0 +1,232 @@
+"""Cluster scaling: one campaign sharded over 1, 2 and 4 service instances.
+
+For each instance count the bench boots a fresh :class:`LocalCluster`
+(N workers + a coordinator, real HTTP between members, one shared store),
+submits the same campaign to the coordinator, waits for it to settle, and
+records the wall-clock time plus the whole-campaign export.  It then checks
+the acceptance contract of the cluster layer:
+
+* every instance count produces an export *byte-identical* to a plain
+  single-process ``CampaignScheduler`` run of the same spec;
+* re-submitting to a running cluster is answered 100% warm (no new store
+  rows, every worker reports ``cache_hit_rate == 1.0``).
+
+Results go to ``BENCH_cluster.json`` at the repository root.
+
+A note on the numbers: LocalCluster members share one Python process (and
+its GIL), so the scaling column here under-reports what separate
+``an5d serve --cluster`` processes achieve — the CI cluster-smoke job boots
+those.  The bench's gate is therefore correctness (identical exports, warm
+re-submits), not a speedup threshold.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py [--quick] [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.campaign import CampaignScheduler, CampaignSpec, ResultStore  # noqa: E402
+from repro.cluster import ClusterClient, LocalCluster  # noqa: E402
+
+INSTANCE_COUNTS = (1, 2, 4)
+
+
+def campaign_spec(quick: bool) -> CampaignSpec:
+    if quick:
+        benchmarks = ("j2d5pt", "j2d9pt", "gradient2d", "star3d1r", "star3d2r", "j3d27pt")
+    else:
+        # Every Table 3 stencil whose *default* predict configuration is
+        # valid on the paper grids: the radius-4 3-D stencils need a tuned
+        # blocking (their default bS=(32, 32) overflows shared memory), so
+        # they would only contribute failed-by-design rows here.
+        from repro.stencils.library import BENCHMARKS
+
+        benchmarks = tuple(
+            name for name in BENCHMARKS if name not in ("star3d4r", "box3d4r")
+        )
+    return CampaignSpec(
+        benchmarks=benchmarks,
+        gpus=("V100", "P100"),
+        dtypes=("float",),
+        kinds=("predict", "tune"),
+        time_steps=200 if quick else 1000,
+        interior_2d=(2048, 2048) if quick else (16384, 16384),
+        interior_3d=(128, 128, 128) if quick else (512, 512, 512),
+        top_k=2,
+    )
+
+
+def reference_export(spec: CampaignSpec, workdir: Path) -> bytes:
+    """The single-process artifact every cluster run must reproduce."""
+    with ResultStore(workdir / "reference.sqlite") as store:
+        outcome = CampaignScheduler(spec, store).run()
+        if not outcome.ok:
+            raise RuntimeError(f"reference campaign failed: {outcome.failures}")
+        path = store.export_jsonl(workdir / "reference.jsonl")
+    return path.read_bytes()
+
+
+def wait_done(client: ClusterClient, url: str, sid: str, timeout: float = 600.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status = client.submission_status(url, sid)
+        if status["state"] in ("done", "failed"):
+            return status
+        time.sleep(0.05)
+    raise RuntimeError(f"submission {sid} did not settle within {timeout}s")
+
+
+def wait_worker_run(
+    client: ClusterClient, url: str, cid: str, runs: int, timeout: float = 120.0
+) -> dict:
+    """Poll a worker until its ``runs``-th run of one campaign has settled.
+
+    The coordinator settles warm re-submissions from store state alone, so a
+    worker's record (and its cache-hit outcome) may lag a moment behind."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, body = client.request(f"{url}/campaigns/{cid}")
+        payload = json.loads(body)
+        if payload["state"] in ("done", "failed") and payload["runs"] >= runs:
+            return payload
+        time.sleep(0.05)
+    raise RuntimeError(f"worker {url} run {runs} of {cid} did not settle")
+
+
+def bench_instances(spec: CampaignSpec, instances: int, workdir: Path) -> dict:
+    client = ClusterClient()
+    store_path = workdir / f"cluster_{instances}.sqlite"
+    with LocalCluster(store=store_path, instances=instances) as cluster:
+        start = time.perf_counter()
+        submitted = client.submit(cluster.url, spec)
+        status = wait_done(client, cluster.url, submitted["id"])
+        cold_s = time.perf_counter() - start
+        if status["state"] != "done":
+            raise RuntimeError(f"cluster campaign failed: {status}")
+        export = client.export(cluster.url, submitted["id"])
+        results_after_cold = cluster.store.count()
+
+        # Warm re-submit: nothing recomputed, every worker 100% cached.
+        start = time.perf_counter()
+        client.submit(cluster.url, spec)
+        warm_status = wait_done(client, cluster.url, submitted["id"])
+        warm_s = time.perf_counter() - start
+        warm_ok = (
+            warm_status["state"] == "done"
+            and cluster.store.count() == results_after_cold
+        )
+        for worker in cluster.workers:
+            payload = wait_worker_run(client, worker.url, submitted["id"], runs=2)
+            outcome = payload.get("outcome")
+            warm_ok = warm_ok and outcome is not None and outcome["cache_hit_rate"] == 1.0
+
+        per_instance = {
+            iid: slice_["progress"]["done"]
+            for iid, slice_ in warm_status["instances"].items()
+        }
+    return {
+        "instances": instances,
+        "jobs": status["jobs"]["total"],
+        "shards": status["shards"],
+        "cold_seconds": cold_s,
+        "warm_seconds": warm_s,
+        "warm_ok": warm_ok,
+        "jobs_per_instance": per_instance,
+        "export": export,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small CI-sized workload")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero if exports diverge or warm re-submits miss the cache",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_cluster.json"),
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--workdir", default=None, help="scratch directory (default: a temp dir)"
+    )
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    workdir = Path(args.workdir) if args.workdir else Path(tempfile.mkdtemp(prefix="an5d-cluster-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    spec = campaign_spec(args.quick)
+    print(f"== bench_cluster ({'quick' if args.quick else 'full'}) ==")
+    print(f"campaign: {spec.describe()} ({spec.size()} jobs)")
+
+    reference = reference_export(spec, workdir)
+
+    runs = []
+    baseline_cold = None
+    for count in INSTANCE_COUNTS:
+        run = bench_instances(spec, count, workdir)
+        run["identical_export"] = run.pop("export") == reference
+        if baseline_cold is None:
+            baseline_cold = run["cold_seconds"]
+        run["scaling_vs_1"] = baseline_cold / run["cold_seconds"]
+        runs.append(run)
+        print(
+            f"{count} instance(s): cold {run['cold_seconds']:.2f}s "
+            f"(x{run['scaling_vs_1']:.2f} vs 1), warm {run['warm_seconds']:.2f}s, "
+            f"identical={run['identical_export']}, warm_ok={run['warm_ok']}"
+        )
+
+    identical = all(run["identical_export"] for run in runs)
+    warm = all(run["warm_ok"] for run in runs)
+    met = identical and warm
+
+    report = {
+        "schema": "bench_cluster/v1",
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "quick": args.quick,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "campaign": {
+            "describe": spec.describe(),
+            "jobs": spec.size(),
+            "kinds": list(spec.kinds),
+        },
+        "runs": runs,
+        "thresholds": {
+            "identical_exports": identical,
+            "warm_resubmits": warm,
+            "met": met,
+        },
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+    print(
+        f"thresholds (byte-identical exports, 100% warm re-submits): "
+        f"{'MET' if met else 'NOT MET'}"
+    )
+    if args.check and not met:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

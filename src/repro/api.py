@@ -309,6 +309,7 @@ def campaign(
     retries: int = 1,
     shards: int = 1,
     shard_index: int = 0,
+    shard_indices: Optional[Sequence[int]] = None,
     top_k: int = 5,
     interior_2d: Optional[Sequence[int]] = None,
     interior_3d: Optional[Sequence[int]] = None,
@@ -320,9 +321,12 @@ def campaign(
     result is committed the moment it finishes, so an interrupted campaign
     resumes where it stopped.  ``benchmarks=None`` means all of Table 3;
     ``interior_2d``/``interior_3d`` override the paper's evaluation grids
-    (``None`` keeps them).
+    (``None`` keeps them).  ``shard_indices`` lets one invocation own
+    several shards of the ``shards``-way partition (the cluster
+    coordinator's re-assignment shape); it overrides ``shard_index``.
     """
     from repro.campaign import CampaignScheduler, CampaignSpec, ResultStore
+    from repro.campaign.scheduler import ShardPlan
 
     interiors = {}
     if interior_2d is not None:
@@ -338,6 +342,10 @@ def campaign(
         top_k=top_k,
         **interiors,
     )
+    if shard_indices is not None:
+        plan = ShardPlan(shards, tuple(shard_indices))
+    else:
+        plan = ShardPlan(shards, (shard_index,))
     owns_store = not isinstance(store, ResultStore)
     result_store = ResultStore(store) if owns_store else store
     try:
@@ -347,8 +355,7 @@ def campaign(
             workers=workers,
             timeout=timeout,
             retries=retries,
-            shards=shards,
-            shard_index=shard_index,
+            plan=plan,
         )
         return scheduler.run(progress=progress)
     finally:
@@ -391,6 +398,8 @@ def serve(
     retries: int = 1,
     block: bool = True,
     quiet: bool = True,
+    cluster: Optional["ClusterConfig"] = None,
+    advertise_host: Optional[str] = None,
 ) -> "CampaignServer":
     """Serve the campaign layer over HTTP (the ``an5d serve`` entry point).
 
@@ -404,6 +413,12 @@ def serve(
     ``block=False`` the server runs in a background thread and is returned
     (callers stop it with :meth:`~repro.service.CampaignServer.stop`);
     ``port=0`` picks an ephemeral port.
+
+    Pass a :class:`~repro.cluster.registry.ClusterConfig` to make the
+    instance a cluster member: it registers itself (with heartbeats) in the
+    store's instance registry and accepts coordinator shard assignments; in
+    the coordinator role it also accepts whole campaigns on
+    ``POST /cluster/campaigns`` and supervises shard re-assignment.
     """
     from repro.service import CampaignServer, WorkerSettings
 
@@ -415,6 +430,8 @@ def serve(
             workers=workers, concurrency=concurrency, timeout=timeout, retries=retries
         ),
         quiet=quiet,
+        cluster=cluster,
+        advertise_host=advertise_host,
     )
     if not block:
         server.start()
@@ -424,6 +441,37 @@ def serve(
     finally:
         server.stop()
     return server
+
+
+def cluster_up(
+    store: Union[str, Path, "ResultStore"] = "campaign.sqlite",
+    instances: int = 2,
+    host: str = "127.0.0.1",
+    workers: int = 1,
+    concurrency: int = 2,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+) -> "LocalCluster":
+    """Boot N worker instances plus a coordinator on one store, in-process.
+
+    Returns the started :class:`~repro.cluster.local.LocalCluster`; submit
+    campaigns to ``cluster.url`` (``POST /cluster/campaigns``) and stop it
+    with ``cluster.stop()``.  Every member is a real HTTP server on an
+    ephemeral port, so the topology matches a multi-process deployment —
+    minus the process isolation (this is the ``an5d cluster up`` fast path;
+    CI's cluster smoke boots separate processes).
+    """
+    from repro.cluster import LocalCluster
+    from repro.service import WorkerSettings
+
+    return LocalCluster(
+        store=store,
+        instances=instances,
+        host=host,
+        settings=WorkerSettings(
+            workers=workers, concurrency=concurrency, timeout=timeout, retries=retries
+        ),
+    ).start()
 
 
 def execution_summary(

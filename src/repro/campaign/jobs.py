@@ -53,6 +53,15 @@ def _canonical(value: object) -> object:
     return value
 
 
+def shard_of_key(key: str, shards: int) -> int:
+    """Stable shard of a job *content address* in ``[0, shards)``.
+
+    Callers that already hold the key (the store, the coordinator's status
+    aggregation) use this directly instead of re-hashing the spec.
+    """
+    return int(key[:8], 16) % max(1, shards)
+
+
 @dataclass(frozen=True)
 class JobSpec:
     """One schedulable unit of campaign work.
@@ -107,7 +116,7 @@ class JobSpec:
 
     def shard(self, shards: int) -> int:
         """Stable shard assignment in ``[0, shards)``."""
-        return int(self.key()[:8], 16) % max(1, shards)
+        return shard_of_key(self.key(), shards)
 
     def grid(self) -> GridSpec:
         return GridSpec(self.interior, self.time_steps)
@@ -576,3 +585,12 @@ class CampaignSpec:
         decide what is actually recomputed.
         """
         return hashlib.sha256(self.canonical().encode()).hexdigest()
+
+    def short_id(self) -> str:
+        """Short campaign/submission id: ``"c"`` + content-address prefix.
+
+        Shared by the HTTP service's campaign ids and the cluster layer's
+        submission ids, so one spec resolves to the same id on every
+        instance and on the coordinator.
+        """
+        return "c" + self.key()[:12]

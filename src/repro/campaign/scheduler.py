@@ -9,7 +9,11 @@ most the in-flight jobs; the next run picks up exactly where it stopped.
 Sharding splits one campaign across independent scheduler instances (e.g.
 separate machines sharing nothing but the final store merge): each job has a
 stable shard assignment derived from its content address, and a scheduler
-configured as shard ``i`` of ``n`` only ever touches its own slice.
+given a :class:`ShardPlan` only ever touches the shard indices that plan
+owns.  A plan may own *several* indices — that is how the cluster layer
+re-assigns the shards of a dead instance to a surviving one — and the
+classic ``shards``/``shard_index`` pair remains as a convenience spelling
+for the single-index plan.
 
 Model-only ``predict`` jobs never reach the pool: jobs sharing one
 (pattern, grid, GPU) are grouped and served by the batched model engine in a
@@ -27,7 +31,7 @@ import threading
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.campaign.jobs import (
     CampaignSpec,
@@ -38,6 +42,64 @@ from repro.campaign.jobs import (
     run_predict_jobs,
 )
 from repro.campaign.store import ResultStore
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Which slice of a campaign one scheduler instance owns.
+
+    ``shards`` is the total partition count; ``indices`` are the shard
+    indices this instance is responsible for.  A job belongs to shard
+    ``job.shard(shards)``, so the union of all plans with distinct indices
+    over the same ``shards`` covers the campaign exactly once.  The default
+    plan (``1`` shard, index ``0``) owns everything.
+    """
+
+    shards: int = 1
+    indices: Tuple[int, ...] = (0,)
+
+    def __post_init__(self) -> None:
+        try:
+            shards = int(self.shards)
+            indices = tuple(sorted({int(index) for index in self.indices}))
+        except (TypeError, ValueError):
+            raise ValueError("shard plan fields must be integers") from None
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        if not indices:
+            raise ValueError("shard plan must own at least one shard index")
+        for index in indices:
+            if not 0 <= index < shards:
+                raise ValueError(f"shard_index {index} must lie in [0, {shards})")
+        object.__setattr__(self, "shards", shards)
+        object.__setattr__(self, "indices", indices)
+
+    @property
+    def is_full(self) -> bool:
+        """True when this plan owns the entire campaign."""
+        return self.shards == 1
+
+    def owns(self, job: JobSpec) -> bool:
+        return self.is_full or job.shard(self.shards) in self.indices
+
+    def describe(self) -> str:
+        return "+".join(str(index) for index in self.indices) + f"/{self.shards}"
+
+    # -- wire format ---------------------------------------------------------
+    def to_json(self) -> Dict[str, object]:
+        return {"shards": self.shards, "shard_indices": list(self.indices)}
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "ShardPlan":
+        if not isinstance(data, Mapping):
+            raise ValueError("shard plan must be a JSON object")
+        unknown = sorted(set(data) - {"shards", "shard_indices"})
+        if unknown:
+            raise ValueError(f"unknown shard plan field(s): {', '.join(unknown)}")
+        indices = data.get("shard_indices", (0,))
+        if isinstance(indices, (str, Mapping)):
+            raise ValueError("shard plan field 'shard_indices' must be a JSON array")
+        return cls(shards=data.get("shards", 1), indices=tuple(indices))  # type: ignore[arg-type]
 
 
 class JobTimeout(Exception):
@@ -100,6 +162,7 @@ class CampaignOutcome:
     duration_s: float
     shards: int = 1
     shard_index: int = 0
+    shard_indices: Tuple[int, ...] = (0,)
     configs_evaluated: int = 0
     failures: List[str] = field(default_factory=list)
 
@@ -128,7 +191,7 @@ class CampaignOutcome:
             "cache_hit_rate": round(self.cache_hit_rate, 4),
             "duration_s": round(self.duration_s, 3),
             "configs_per_s": round(self.configs_per_s, 1),
-            "shard": f"{self.shard_index}/{self.shards}",
+            "shard": "+".join(str(i) for i in self.shard_indices) + f"/{self.shards}",
         }
 
 
@@ -136,7 +199,12 @@ ProgressCallback = Callable[[JobSpec, str], None]
 
 
 class CampaignScheduler:
-    """Plan and run one campaign (or one shard of it) against a store."""
+    """Plan and run one campaign (or one slice of it) against a store.
+
+    The slice is a :class:`ShardPlan` — supplied directly (the cluster
+    coordinator's route, where a plan may own several shard indices after a
+    re-assignment) or spelled as the classic ``shards``/``shard_index`` pair.
+    """
 
     def __init__(
         self,
@@ -147,11 +215,10 @@ class CampaignScheduler:
         retries: int = 1,
         shards: int = 1,
         shard_index: int = 0,
+        plan: Optional[ShardPlan] = None,
     ) -> None:
-        if shards < 1:
-            raise ValueError("shards must be at least 1")
-        if not 0 <= shard_index < shards:
-            raise ValueError(f"shard_index must lie in [0, {shards})")
+        if plan is None:
+            plan = ShardPlan(shards, (shard_index,))
         if retries < 0:
             raise ValueError("retries must be non-negative")
         self.spec = spec
@@ -159,16 +226,24 @@ class CampaignScheduler:
         self.workers = max(1, workers)
         self.timeout = timeout
         self.retries = retries
-        self.shards = shards
-        self.shard_index = shard_index
+        self.shard_plan = plan
+
+    @property
+    def shards(self) -> int:
+        return self.shard_plan.shards
+
+    @property
+    def shard_index(self) -> int:
+        """Lowest owned shard index (see ``shard_plan`` for the full set)."""
+        return self.shard_plan.indices[0]
 
     # -- planning --------------------------------------------------------------
     def jobs(self) -> List[JobSpec]:
-        """This shard's slice of the campaign, in deterministic order."""
+        """This plan's slice of the campaign, in deterministic order."""
         expanded = self.spec.expand()
-        if self.shards == 1:
+        if self.shard_plan.is_full:
             return expanded
-        return [job for job in expanded if job.shard(self.shards) == self.shard_index]
+        return [job for job in expanded if self.shard_plan.owns(job)]
 
     def plan(self) -> Tuple[List[JobSpec], List[JobSpec]]:
         """Split this shard's jobs into (already answered, still pending)."""
@@ -325,6 +400,7 @@ class CampaignScheduler:
             duration_s=time.perf_counter() - start,
             shards=self.shards,
             shard_index=self.shard_index,
+            shard_indices=self.shard_plan.indices,
             configs_evaluated=configs_evaluated,
             failures=[job.describe() for job in failed],
         )

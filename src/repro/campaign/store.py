@@ -32,14 +32,17 @@ import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import repro
 from repro.campaign.jobs import JobSpec
 from repro.reporting import ResultTable
 
-#: Bump when the stored payload layout changes incompatibly.
-SCHEMA_VERSION = 1
+#: Bump when the stored payload layout changes incompatibly.  Version 2 adds
+#: the cluster tables (instances / submissions / assignments); they are
+#: created with ``IF NOT EXISTS``, so a version-1 store upgrades in place the
+#: first time a version-2 process opens it.
+SCHEMA_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS results (
@@ -58,6 +61,30 @@ CREATE TABLE IF NOT EXISTS results (
 );
 CREATE INDEX IF NOT EXISTS idx_results_lookup ON results (kind, pattern, gpu, dtype);
 CREATE TABLE IF NOT EXISTS meta (k TEXT PRIMARY KEY, v TEXT NOT NULL);
+CREATE TABLE IF NOT EXISTS instances (
+    instance_id  TEXT PRIMARY KEY,
+    host         TEXT NOT NULL,
+    port         INTEGER NOT NULL,
+    role         TEXT NOT NULL,
+    capabilities TEXT NOT NULL,
+    started_at   REAL NOT NULL,
+    heartbeat_at REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS submissions (
+    id         TEXT PRIMARY KEY,
+    spec       TEXT NOT NULL,
+    shards     INTEGER NOT NULL,
+    state      TEXT NOT NULL,
+    created_at REAL NOT NULL,
+    updated_at REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS assignments (
+    submission_id TEXT NOT NULL,
+    shard_index   INTEGER NOT NULL,
+    instance_id   TEXT NOT NULL,
+    updated_at    REAL NOT NULL,
+    PRIMARY KEY (submission_id, shard_index)
+);
 """
 
 #: Stable export column order shared by every store export.
@@ -155,9 +182,16 @@ class ResultStore:
             conn.execute("PRAGMA synchronous=NORMAL")
         conn.execute(f"PRAGMA busy_timeout={int(self.timeout_s * 1000)}")
         conn.executescript(_SCHEMA)
+        # Stamp the schema version, upgrading only: an older binary opening a
+        # newer store must not silently downgrade the recorded version.
         conn.execute(
             "INSERT OR IGNORE INTO meta (k, v) VALUES ('schema_version', ?)",
             (str(SCHEMA_VERSION),),
+        )
+        conn.execute(
+            "UPDATE meta SET v = ? WHERE k = 'schema_version' "
+            "AND CAST(v AS INTEGER) < ?",
+            (str(SCHEMA_VERSION), SCHEMA_VERSION),
         )
         conn.commit()
         with self._lock:
@@ -406,6 +440,174 @@ class ResultStore:
             records = self.export_records(**filters)
         path.write_text(json.dumps({"results": records}, sort_keys=True, indent=2) + "\n")
         return path
+
+    # -- cluster: instance registry --------------------------------------------
+    # Raw row-level accessors for the tables the cluster layer shares through
+    # the store.  Liveness policy (heartbeat age), shard planning and HTTP
+    # forwarding live in :mod:`repro.cluster`; the store only persists facts.
+
+    def register_instance(
+        self,
+        instance_id: str,
+        host: str,
+        port: int,
+        role: str,
+        capabilities: Dict[str, object],
+        now: Optional[float] = None,
+    ) -> None:
+        """Insert (or refresh) one service instance; heartbeat starts now."""
+        timestamp = time.time() if now is None else float(now)
+        self._commit(
+            "INSERT OR REPLACE INTO instances "
+            "(instance_id, host, port, role, capabilities, started_at, heartbeat_at) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                instance_id,
+                host,
+                int(port),
+                role,
+                json.dumps(capabilities, sort_keys=True, separators=(",", ":")),
+                timestamp,
+                timestamp,
+            ),
+        )
+
+    def heartbeat_instance(self, instance_id: str, now: Optional[float] = None) -> bool:
+        """Refresh one instance's heartbeat; False if it is not registered."""
+        timestamp = time.time() if now is None else float(now)
+        cursor = self._commit(
+            "UPDATE instances SET heartbeat_at = ? WHERE instance_id = ?",
+            (timestamp, instance_id),
+        )
+        return cursor.rowcount > 0
+
+    def remove_instance(self, instance_id: str) -> bool:
+        return (
+            self._commit(
+                "DELETE FROM instances WHERE instance_id = ?", (instance_id,)
+            ).rowcount
+            > 0
+        )
+
+    def instance_rows(self) -> List[Dict[str, object]]:
+        """All registered instances, oldest registration first."""
+        rows = self._conn.execute(
+            "SELECT instance_id, host, port, role, capabilities, started_at, heartbeat_at "
+            "FROM instances ORDER BY started_at, instance_id"
+        )
+        return [
+            {
+                "instance_id": row[0],
+                "host": row[1],
+                "port": row[2],
+                "role": row[3],
+                "capabilities": json.loads(row[4]),
+                "started_at": row[5],
+                "heartbeat_at": row[6],
+            }
+            for row in rows
+        ]
+
+    # -- cluster: submission queue ----------------------------------------------
+    def enqueue_submission(
+        self, sid: str, spec_json: str, shards: int, now: Optional[float] = None
+    ) -> None:
+        """Insert (or re-open) one campaign submission in state ``queued``.
+
+        Re-submitting an id that already finished resets its state and shard
+        count but keeps the original ``created_at`` so queue order is stable.
+        """
+        timestamp = time.time() if now is None else float(now)
+        self._commit(
+            "INSERT INTO submissions (id, spec, shards, state, created_at, updated_at) "
+            "VALUES (?, ?, ?, 'queued', ?, ?) "
+            "ON CONFLICT(id) DO UPDATE SET "
+            "spec = excluded.spec, shards = excluded.shards, state = 'queued', "
+            "updated_at = excluded.updated_at",
+            (sid, spec_json, int(shards), timestamp, timestamp),
+        )
+
+    def update_submission(
+        self, sid: str, state: str, now: Optional[float] = None
+    ) -> bool:
+        timestamp = time.time() if now is None else float(now)
+        cursor = self._commit(
+            "UPDATE submissions SET state = ?, updated_at = ? WHERE id = ?",
+            (state, timestamp, sid),
+        )
+        return cursor.rowcount > 0
+
+    def _submission_row(self, row: Sequence[object]) -> Dict[str, object]:
+        return {
+            "id": row[0],
+            "spec": row[1],
+            "shards": row[2],
+            "state": row[3],
+            "created_at": row[4],
+            "updated_at": row[5],
+        }
+
+    def get_submission(self, sid: str) -> Optional[Dict[str, object]]:
+        row = self._conn.execute(
+            "SELECT id, spec, shards, state, created_at, updated_at "
+            "FROM submissions WHERE id = ?",
+            (sid,),
+        ).fetchone()
+        return self._submission_row(row) if row else None
+
+    def submission_rows(self, state: Optional[str] = None) -> List[Dict[str, object]]:
+        """Submissions in queue order (optionally only one state)."""
+        sql = "SELECT id, spec, shards, state, created_at, updated_at FROM submissions"
+        args: Tuple[object, ...] = ()
+        if state is not None:
+            sql += " WHERE state = ?"
+            args = (state,)
+        sql += " ORDER BY created_at, id"
+        return [self._submission_row(row) for row in self._conn.execute(sql, args)]
+
+    def set_assignment(
+        self, sid: str, shard_index: int, instance_id: str, now: Optional[float] = None
+    ) -> None:
+        timestamp = time.time() if now is None else float(now)
+        self._commit(
+            "INSERT OR REPLACE INTO assignments "
+            "(submission_id, shard_index, instance_id, updated_at) VALUES (?, ?, ?, ?)",
+            (sid, int(shard_index), instance_id, timestamp),
+        )
+
+    def clear_assignments(self, sid: str) -> int:
+        return self._commit(
+            "DELETE FROM assignments WHERE submission_id = ?", (sid,)
+        ).rowcount
+
+    def assignment_rows(self, sid: str) -> List[Dict[str, object]]:
+        """One submission's shard -> instance assignments, by shard index."""
+        rows = self._conn.execute(
+            "SELECT shard_index, instance_id, updated_at FROM assignments "
+            "WHERE submission_id = ? ORDER BY shard_index",
+            (sid,),
+        )
+        return [
+            {"shard_index": row[0], "instance_id": row[1], "updated_at": row[2]}
+            for row in rows
+        ]
+
+    # -- code-version maintenance ------------------------------------------------
+    def code_versions(self) -> Dict[str, int]:
+        """Result counts per code version (stale versions never expire alone)."""
+        return {
+            version: count
+            for version, count in self._conn.execute(
+                "SELECT code_version, COUNT(*) FROM results "
+                "GROUP BY code_version ORDER BY code_version"
+            )
+        }
+
+    def purge_code_version(self, version: str) -> int:
+        """Drop every result recorded under one code version."""
+        return self._commit(
+            "DELETE FROM results WHERE code_version = ?", (version,)
+        ).rowcount
 
     # -- bookkeeping -----------------------------------------------------------
     def status_counts(self) -> Dict[str, int]:

@@ -17,15 +17,23 @@ Subcommands
     Verify the blocked execution against the NumPy reference.
 ``an5d compare <benchmark> [--gpu V100]``
     Compare AN5D against the baseline frameworks (one Fig. 6 group).
-``an5d campaign run|status|report|export``
+``an5d campaign run|status|report|export|prune``
     Batch service: run (or resume) a campaign over the benchmark x GPU
     matrix against a persistent result store, inspect its progress, render
-    leaderboards/Table-5 matrices, and export diff-able JSONL/CSV artifacts.
+    leaderboards/Table-5 matrices, export diff-able JSONL/CSV artifacts,
+    and prune results left behind by stale code versions.
 ``an5d serve [--host 127.0.0.1 --port 8000 --store campaign.sqlite]``
     Long-running HTTP front-end over the same campaign layer: submit specs
     with ``POST /campaigns``, poll ``GET /campaigns/{id}``, stream reports
     and exports.  Results land in the shared store, so the service and the
-    CLI subcommands above are interchangeable.
+    CLI subcommands above are interchangeable.  ``--cluster`` (plus
+    ``--instance-id``/``--role``) joins the store's cluster: the instance
+    registers itself, heartbeats, and accepts coordinator shard assignments.
+``an5d cluster up|coordinator|status|submit``
+    Horizontal scale-out: boot N workers + a coordinator in one process
+    (``up``), run a dedicated coordinator (``coordinator``), inspect
+    membership/liveness/progress (``status``), and submit campaigns that the
+    coordinator shards over live instances (``submit``).
 
 Failures exit non-zero: ``1`` for work that ran and failed (verification
 mismatch, failed campaign jobs), ``2`` for requests that could not be
@@ -202,9 +210,60 @@ def _parse_names(text: str) -> tuple[str, ...]:
     return tuple(part.strip() for part in text.split(",") if part.strip())
 
 
+def _parse_indices(text: str) -> tuple[int, ...]:
+    return tuple(int(part.strip()) for part in text.split(",") if part.strip())
+
+
 def _campaign_benchmarks(text: str) -> tuple[str, ...]:
     names = _parse_names(text)
     return () if names in ((), ("all",)) else names
+
+
+def _add_matrix_arguments(parser: argparse.ArgumentParser) -> None:
+    """The campaign-matrix flags shared by ``campaign run`` and ``cluster submit``."""
+    parser.add_argument(
+        "--benchmarks",
+        type=_campaign_benchmarks,
+        default=(),
+        help="comma-separated benchmark names ('all' or omit for every Table 3 stencil)",
+    )
+    parser.add_argument("--gpus", type=_parse_names, default=("V100",))
+    parser.add_argument("--dtypes", type=_parse_names, default=("float",))
+    parser.add_argument(
+        "--kinds",
+        type=_parse_names,
+        default=("tune",),
+        help="job kinds: tune,exhaustive,verify,baseline,predict",
+    )
+    parser.add_argument("--time-steps", type=int, default=1000)
+    parser.add_argument(
+        "--interior-2d", type=_parse_bs, default=None,
+        help="2-D interior grid, e.g. 512x512 (default: the paper's 16384x16384)",
+    )
+    parser.add_argument(
+        "--interior-3d", type=_parse_bs, default=None,
+        help="3-D interior grid, e.g. 48x48x48 (default: the paper's 512^3)",
+    )
+    parser.add_argument("--top-k", type=int, default=5)
+
+
+def _campaign_spec(args: argparse.Namespace):
+    from repro.campaign import CampaignSpec
+
+    interiors = {}
+    if args.interior_2d is not None:
+        interiors["interior_2d"] = args.interior_2d
+    if args.interior_3d is not None:
+        interiors["interior_3d"] = args.interior_3d
+    return CampaignSpec(
+        benchmarks=args.benchmarks,
+        gpus=args.gpus,
+        dtypes=args.dtypes,
+        kinds=args.kinds,
+        time_steps=args.time_steps,
+        top_k=args.top_k,
+        **interiors,
+    )
 
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
@@ -224,6 +283,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         retries=args.retries,
         shards=args.shards,
         shard_index=args.shard,
+        shard_indices=args.shard_indices,
         top_k=args.top_k,
         interior_2d=args.interior_2d,
         interior_3d=args.interior_3d,
@@ -235,6 +295,51 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         for failure in outcome.failures:
             print(f"error: job failed: {failure}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_campaign_prune(args: argparse.Namespace) -> int:
+    """List or drop results recorded under stale code versions."""
+    from repro.campaign import ResultStore
+
+    if not Path(args.store).exists():
+        print(f"error: no campaign store at {args.store!r}", file=sys.stderr)
+        return 2
+    current = repro.__version__
+    with ResultStore(args.store) as store:
+        versions = store.code_versions()
+        if args.code_version is None and not args.stale:
+            # Pure listing: what is in the store, and what prune would drop.
+            print(f"{'code version':<16} {'results':>8}  note")
+            for version, count in versions.items():
+                note = "current" if version == current else "stale"
+                print(f"{version:<16} {count:>8}  {note}")
+            return 0
+        targets = list(args.code_version or [])
+        if args.stale:
+            targets.extend(v for v in versions if v != current)
+        targets = [v for i, v in enumerate(targets) if v not in targets[:i]]
+        if not targets:
+            print("nothing to prune: every result is from the current code version")
+            return 0
+        # Validate every target before dropping anything: a guard tripping
+        # mid-loop must not leave a partial, irreversible purge behind.
+        if current in targets and not args.force:
+            print(
+                f"error: {current!r} is the current code version; "
+                "pass --force to drop current results",
+                file=sys.stderr,
+            )
+            return 2
+        for version in targets:
+            if version not in versions:
+                print(f"  {version}: no results")
+                continue
+            if args.dry_run:
+                print(f"  {version}: would drop {versions[version]} result(s)")
+            else:
+                dropped = store.purge_code_version(version)
+                print(f"  {version}: dropped {dropped} result(s)")
     return 0
 
 
@@ -297,36 +402,17 @@ def _add_campaign_parsers(sub: argparse._SubParsersAction) -> None:
     campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
 
     run_parser = campaign_sub.add_parser("run", help="run or resume a campaign")
-    run_parser.add_argument(
-        "--benchmarks",
-        type=_campaign_benchmarks,
-        default=(),
-        help="comma-separated benchmark names ('all' or omit for every Table 3 stencil)",
-    )
-    run_parser.add_argument("--gpus", type=_parse_names, default=("V100",))
-    run_parser.add_argument("--dtypes", type=_parse_names, default=("float",))
-    run_parser.add_argument(
-        "--kinds",
-        type=_parse_names,
-        default=("tune",),
-        help="job kinds: tune,exhaustive,verify,baseline,predict",
-    )
+    _add_matrix_arguments(run_parser)
     run_parser.add_argument("--store", default="campaign.sqlite")
     run_parser.add_argument("--workers", type=int, default=1)
-    run_parser.add_argument("--time-steps", type=int, default=1000)
-    run_parser.add_argument(
-        "--interior-2d", type=_parse_bs, default=None,
-        help="2-D interior grid, e.g. 512x512 (default: the paper's 16384x16384)",
-    )
-    run_parser.add_argument(
-        "--interior-3d", type=_parse_bs, default=None,
-        help="3-D interior grid, e.g. 48x48x48 (default: the paper's 512^3)",
-    )
     run_parser.add_argument("--timeout", type=float, default=None, help="per-job seconds")
     run_parser.add_argument("--retries", type=int, default=1)
     run_parser.add_argument("--shards", type=int, default=1)
     run_parser.add_argument("--shard", type=int, default=0, help="this worker's shard index")
-    run_parser.add_argument("--top-k", type=int, default=5)
+    run_parser.add_argument(
+        "--shard-indices", type=_parse_indices, default=None,
+        help="own several shard indices of the partition, e.g. 0,2 (overrides --shard)",
+    )
     run_parser.add_argument("--verbose", "-v", action="store_true")
     run_parser.set_defaults(func=_cmd_campaign_run)
 
@@ -355,10 +441,46 @@ def _add_campaign_parsers(sub: argparse._SubParsersAction) -> None:
     )
     export_parser.set_defaults(func=_cmd_campaign_export)
 
+    prune_parser = campaign_sub.add_parser(
+        "prune", help="list or drop results from stale code versions"
+    )
+    prune_parser.add_argument("--store", default="campaign.sqlite")
+    prune_parser.add_argument(
+        "--code-version", action="append", default=None,
+        help="drop results recorded under this code version (repeatable)",
+    )
+    prune_parser.add_argument(
+        "--stale", action="store_true",
+        help="drop results from every version except the current one",
+    )
+    prune_parser.add_argument(
+        "--dry-run", action="store_true", help="report what would be dropped"
+    )
+    prune_parser.add_argument(
+        "--force", action="store_true",
+        help="allow dropping results of the current code version",
+    )
+    prune_parser.set_defaults(func=_cmd_campaign_prune)
+
+
+def _cluster_config(args: argparse.Namespace, role: str):
+    from repro.cluster import ClusterConfig, generate_instance_id
+
+    return ClusterConfig(
+        instance_id=args.instance_id or generate_instance_id(),
+        role=role,
+        heartbeat_interval=args.heartbeat_interval,
+        liveness_timeout=args.liveness_timeout,
+    )
+
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import CampaignServer, WorkerSettings
 
+    role = getattr(args, "role", "worker")
+    cluster = None
+    if getattr(args, "cluster", False) or role != "worker":
+        cluster = _cluster_config(args, role)
     server = CampaignServer(
         host=args.host,
         port=args.port,
@@ -370,15 +492,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             retries=args.retries,
         ),
         quiet=not args.verbose,
+        cluster=cluster,
+        advertise_host=getattr(args, "advertise_host", None),
     )
     print(f"an5d campaign service on {server.url} (store: {args.store})")
+    if cluster is not None:
+        print(f"cluster member {cluster.instance_id} (role: {cluster.role})")
     print("endpoints: POST /campaigns  GET /campaigns/{id}[/report|/export]  GET /healthz")
+    if cluster is not None and cluster.coordinates:
+        print("cluster:   POST /cluster/campaigns  GET /cluster/status|/cluster/instances")
     sys.stdout.flush()
     try:
         server.run()
     finally:
         server.stop()
     return 0
+
+
+def _add_cluster_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--instance-id", default=None,
+        help="stable cluster instance id (default: generated)",
+    )
+    parser.add_argument(
+        "--heartbeat-interval", type=float, default=2.0,
+        help="seconds between registry heartbeats",
+    )
+    parser.add_argument(
+        "--liveness-timeout", type=float, default=10.0,
+        help="heartbeat age beyond which an instance counts as dead",
+    )
+    parser.add_argument(
+        "--advertise-host", default=None,
+        help="address peers should dial (required sense when binding 0.0.0.0)",
+    )
 
 
 def _add_serve_parser(sub: argparse._SubParsersAction) -> None:
@@ -398,8 +545,198 @@ def _add_serve_parser(sub: argparse._SubParsersAction) -> None:
     )
     serve_parser.add_argument("--timeout", type=float, default=None, help="per-job seconds")
     serve_parser.add_argument("--retries", type=int, default=1)
+    serve_parser.add_argument(
+        "--cluster", action="store_true",
+        help="join the store's cluster: register, heartbeat, accept shard assignments",
+    )
+    serve_parser.add_argument(
+        "--role", choices=("worker", "coordinator", "both"), default="worker",
+        help="cluster role (a non-worker role implies --cluster)",
+    )
+    _add_cluster_serve_arguments(serve_parser)
     serve_parser.add_argument("--verbose", "-v", action="store_true", help="log requests")
     serve_parser.set_defaults(func=_cmd_serve)
+
+
+# -- cluster subcommands ----------------------------------------------------------
+
+
+def _cmd_cluster_up(args: argparse.Namespace) -> int:
+    import time as _time
+
+    cluster = api.cluster_up(
+        store=args.store,
+        instances=args.instances,
+        host=args.host,
+        workers=args.workers,
+        concurrency=args.concurrency,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+    try:
+        print(f"an5d cluster on {cluster.url} (store: {args.store})")
+        for worker in cluster.workers:
+            print(f"  worker {worker.app.cluster.instance_id} on {worker.url}")
+        print(
+            f"submit: an5d cluster submit --url {cluster.url} ...   "
+            f"status: an5d cluster status --url {cluster.url}"
+        )
+        sys.stdout.flush()
+        try:
+            while True:
+                _time.sleep(1.0)
+        except KeyboardInterrupt:  # pragma: no cover — interactive only
+            pass
+    finally:
+        cluster.stop()
+    return 0
+
+
+def _print_cluster_status(payload: dict) -> None:
+    print(f"{'instance':<28} {'role':<12} {'live':<5} {'age_s':>7}  url")
+    for instance in payload.get("instances", ()):
+        print(
+            f"{instance['instance_id']:<28} {instance['role']:<12} "
+            f"{str(instance['live']).lower():<5} {instance['heartbeat_age_s']:>7}  "
+            f"{instance['url']}"
+        )
+    submissions = payload.get("submissions", ())
+    if not submissions:
+        print("no submissions")
+        return
+    for submission in submissions:
+        jobs = submission["jobs"]
+        print(
+            f"submission {submission['id']}: {submission['state']} "
+            f"({jobs['done']}/{jobs['total']} done, {jobs['failed']} failed, "
+            f"{jobs['pending']} pending; {submission['shards']} shard(s))"
+        )
+        for iid, slice_ in submission.get("instances", {}).items():
+            progress = slice_["progress"]
+            indices = "+".join(str(i) for i in slice_["shard_indices"])
+            print(
+                f"  {iid:<26} shards {indices:<8} "
+                f"{progress['done']}/{progress['total']} done, "
+                f"{progress['failed']} failed, {progress['pending']} pending"
+            )
+
+
+def _cmd_cluster_status(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterClient, ClusterError
+
+    if args.url:
+        try:
+            payload = ClusterClient().cluster_status(args.url.rstrip("/"))
+        except ClusterError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    else:
+        from repro.campaign import ResultStore
+        from repro.cluster import ClusterCoordinator, InstanceRegistry
+
+        if not Path(args.store).exists():
+            print(f"error: no campaign store at {args.store!r}", file=sys.stderr)
+            return 2
+        with ResultStore(args.store) as store:
+            registry = InstanceRegistry(store, liveness_timeout=args.liveness_timeout)
+            payload = ClusterCoordinator(store, registry).status()
+    _print_cluster_status(payload)
+    return 0
+
+
+def _cmd_cluster_submit(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.cluster import ClusterClient, ClusterError
+
+    spec = _campaign_spec(args)
+    # The coordinator forwards shards inline before answering, and each
+    # wedged peer may cost it several seconds — be patient, not transient.
+    client = ClusterClient(timeout=60.0)
+    base = args.url.rstrip("/")
+    try:
+        submitted = client.submit(base, spec)
+    except ClusterError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"submitted {submitted['id']}: {submitted['describe']}")
+    jobs = submitted["jobs"]
+    print(f"  state: {submitted['state']}  jobs: {jobs['total']}  shards: {submitted['shards']}")
+    if not args.wait:
+        return 0
+    deadline = _time.monotonic() + args.poll_timeout
+    status = submitted
+    while _time.monotonic() < deadline:
+        try:
+            status = client.submission_status(base, submitted["id"])
+        except ClusterError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if status["state"] in ("done", "failed"):
+            break
+        _time.sleep(0.2)
+    jobs = status["jobs"]
+    print(
+        f"  final: {status['state']}  done: {jobs['done']}/{jobs['total']}  "
+        f"failed: {jobs['failed']}  pending: {jobs['pending']}"
+    )
+    if status["state"] != "done":
+        return 1
+    return 0
+
+
+def _add_cluster_parsers(sub: argparse._SubParsersAction) -> None:
+    cluster = sub.add_parser(
+        "cluster", help="many serve instances cooperating on one store"
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+
+    up_parser = cluster_sub.add_parser(
+        "up", help="boot N workers + a coordinator in one process"
+    )
+    up_parser.add_argument("--instances", type=int, default=2)
+    up_parser.add_argument("--host", default="127.0.0.1")
+    up_parser.add_argument("--store", default="campaign.sqlite")
+    up_parser.add_argument("--workers", type=int, default=1)
+    up_parser.add_argument("--concurrency", type=int, default=2)
+    up_parser.add_argument("--timeout", type=float, default=None)
+    up_parser.add_argument("--retries", type=int, default=1)
+    up_parser.set_defaults(func=_cmd_cluster_up)
+
+    coordinator_parser = cluster_sub.add_parser(
+        "coordinator", help="run a dedicated coordinator instance"
+    )
+    coordinator_parser.add_argument("--host", default="127.0.0.1")
+    coordinator_parser.add_argument("--port", type=int, default=8000)
+    coordinator_parser.add_argument("--store", default="campaign.sqlite")
+    coordinator_parser.add_argument("--workers", type=int, default=1)
+    coordinator_parser.add_argument("--concurrency", type=int, default=2)
+    coordinator_parser.add_argument("--timeout", type=float, default=None)
+    coordinator_parser.add_argument("--retries", type=int, default=1)
+    _add_cluster_serve_arguments(coordinator_parser)
+    coordinator_parser.add_argument("--verbose", "-v", action="store_true")
+    coordinator_parser.set_defaults(func=_cmd_serve, cluster=True, role="coordinator")
+
+    status_parser = cluster_sub.add_parser(
+        "status", help="instances, liveness and submission progress"
+    )
+    status_parser.add_argument("--url", default=None, help="any cluster member's base URL")
+    status_parser.add_argument("--store", default="campaign.sqlite")
+    status_parser.add_argument("--liveness-timeout", type=float, default=10.0)
+    status_parser.set_defaults(func=_cmd_cluster_status)
+
+    submit_parser = cluster_sub.add_parser(
+        "submit", help="submit a campaign to the coordinator"
+    )
+    submit_parser.add_argument("--url", required=True, help="the coordinator's base URL")
+    _add_matrix_arguments(submit_parser)
+    submit_parser.add_argument(
+        "--wait", action="store_true", help="poll until the campaign settles"
+    )
+    submit_parser.add_argument(
+        "--poll-timeout", type=float, default=600.0, help="seconds to wait with --wait"
+    )
+    submit_parser.set_defaults(func=_cmd_cluster_submit)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -474,6 +811,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     _add_campaign_parsers(sub)
     _add_serve_parser(sub)
+    _add_cluster_parsers(sub)
 
     return parser
 

@@ -1,0 +1,55 @@
+"""Cluster layer: many ``an5d serve`` instances cooperating on one store.
+
+The paper's tuning matrix is embarrassingly shardable — every job already
+has a stable content-addressed shard — so horizontal scale is a coordination
+problem, not a compute one.  This package turns N independent service
+processes into one campaign service:
+
+``registry``
+    Store-backed instance registry (``instances`` table): endpoint,
+    capabilities, heartbeat timestamp; liveness is *derived* from heartbeat
+    age, never stored.
+``coordinator``
+    Accepts submissions into the store-backed queue (``submissions`` /
+    ``assignments`` tables), partitions campaigns over live workers, forwards
+    each instance its :class:`~repro.campaign.scheduler.ShardPlan` over HTTP
+    with retry, re-assigns the shards of lapsed instances, and aggregates
+    per-instance progress.
+``client``
+    The stdlib HTTP client used for all instance-to-instance traffic.
+``local``
+    :class:`LocalCluster`: N workers + a coordinator booted in one process
+    (the ``an5d cluster up`` topology).
+
+Quick use::
+
+    from repro.cluster import LocalCluster
+    from repro.cluster.client import ClusterClient
+
+    with LocalCluster(store="campaign.sqlite", instances=3) as cluster:
+        client = ClusterClient()
+        submitted = client.submit(cluster.url, spec)
+        ...  # poll client.submission_status(cluster.url, submitted["id"])
+"""
+
+from repro.cluster.client import ClusterClient, ClusterError, ClusterHTTPError
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.local import LocalCluster
+from repro.cluster.registry import (
+    ClusterConfig,
+    Instance,
+    InstanceRegistry,
+    generate_instance_id,
+)
+
+__all__ = [
+    "ClusterClient",
+    "ClusterConfig",
+    "ClusterCoordinator",
+    "ClusterError",
+    "ClusterHTTPError",
+    "Instance",
+    "InstanceRegistry",
+    "LocalCluster",
+    "generate_instance_id",
+]

@@ -1,0 +1,111 @@
+"""Stdlib HTTP client for instance-to-instance cluster traffic.
+
+Everything the coordinator sends a worker — and everything the CLI sends a
+coordinator — goes through :class:`ClusterClient`: urllib with a small
+bounded retry loop (transient connection errors back off and retry; HTTP
+error responses do *not* retry, they carry the peer's structured wire error
+back to the caller as :class:`ClusterHTTPError`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Optional, Tuple
+
+from repro.campaign.jobs import CampaignSpec
+from repro.campaign.scheduler import ShardPlan
+
+
+class ClusterError(Exception):
+    """A peer could not be reached (after retries)."""
+
+
+class ClusterHTTPError(ClusterError):
+    """A peer answered with an HTTP error; carries its wire payload."""
+
+    def __init__(self, status: int, payload: Dict[str, object]) -> None:
+        message = payload.get("error") if isinstance(payload, dict) else None
+        super().__init__(f"HTTP {status}: {message or payload}")
+        self.status = status
+        self.payload = payload
+
+
+class ClusterClient:
+    """Small JSON-over-HTTP client with bounded retry on connection errors."""
+
+    def __init__(self, timeout: float = 10.0, retries: int = 2, backoff_s: float = 0.05) -> None:
+        self.timeout = float(timeout)
+        self.retries = max(0, int(retries))
+        self.backoff_s = float(backoff_s)
+
+    # -- plumbing --------------------------------------------------------------
+    def request(
+        self,
+        url: str,
+        method: str = "GET",
+        payload: Optional[object] = None,
+    ) -> Tuple[int, bytes]:
+        """One request with retry-on-unreachable; returns (status, body)."""
+        data = (
+            json.dumps(payload, sort_keys=True).encode("utf-8")
+            if payload is not None
+            else None
+        )
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(url, method=method, data=data)
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                    return response.status, response.read()
+            except urllib.error.HTTPError as error:
+                # The peer answered: its wire error is the answer, not a
+                # transient fault — surface it without retrying.
+                try:
+                    body = json.loads(error.read().decode("utf-8"))
+                except Exception:  # noqa: BLE001 — non-JSON error body
+                    body = {"error": str(error)}
+                raise ClusterHTTPError(error.code, body) from None
+            except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as error:
+                last_error = error
+                if attempt < self.retries:
+                    time.sleep(self.backoff_s * (attempt + 1))
+        raise ClusterError(f"unreachable peer {url}: {last_error}") from None
+
+    def get_json(self, url: str) -> Dict[str, object]:
+        _, body = self.request(url)
+        return json.loads(body)
+
+    def post_json(self, url: str, payload: object) -> Dict[str, object]:
+        _, body = self.request(url, method="POST", payload=payload)
+        return json.loads(body)
+
+    # -- cluster verbs ---------------------------------------------------------
+    def healthz(self, base_url: str) -> Dict[str, object]:
+        return self.get_json(base_url + "/healthz")
+
+    def assign(
+        self, base_url: str, spec: CampaignSpec, plan: ShardPlan
+    ) -> Dict[str, object]:
+        """Forward one shard assignment to a worker instance."""
+        envelope = {"spec": spec.to_json(), **plan.to_json()}
+        return self.post_json(base_url + "/campaigns/assigned", envelope)
+
+    def submit(self, base_url: str, spec: CampaignSpec) -> Dict[str, object]:
+        """Submit a whole campaign to a coordinator."""
+        return self.post_json(base_url + "/cluster/campaigns", spec.to_json())
+
+    def cluster_status(self, base_url: str) -> Dict[str, object]:
+        return self.get_json(base_url + "/cluster/status")
+
+    def cluster_instances(self, base_url: str) -> Dict[str, object]:
+        return self.get_json(base_url + "/cluster/instances")
+
+    def submission_status(self, base_url: str, sid: str) -> Dict[str, object]:
+        return self.get_json(f"{base_url}/cluster/campaigns/{sid}")
+
+    def export(self, base_url: str, sid: str) -> bytes:
+        _, body = self.request(f"{base_url}/cluster/campaigns/{sid}/export")
+        return body

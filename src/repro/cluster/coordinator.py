@@ -1,0 +1,346 @@
+"""The cluster coordinator: one workload, many instances, one store.
+
+A coordinator accepts campaign submissions, records them in the store-backed
+submission queue (``submissions`` table), partitions each campaign into as
+many shards as there are live worker instances, persists the shard → instance
+assignment (``assignments`` table) and forwards every instance its slice over
+HTTP (``POST /campaigns/assigned``) with bounded retry.  Because every
+instance commits results straight into the shared store, the coordinator
+never relays data — it only plans, forwards and watches.
+
+Failure semantics
+-----------------
+Liveness is heartbeat age (:class:`~repro.cluster.registry.InstanceRegistry`).
+On every :meth:`ClusterCoordinator.tick` — run by the coordinator's monitor
+thread — each unfinished submission is re-checked:
+
+* shards owned by an instance whose heartbeat lapsed (or that refused the
+  forward) are re-assigned round-robin over the remaining live workers and
+  re-forwarded — the receiving worker simply re-enqueues the campaign under
+  its widened :class:`~repro.campaign.scheduler.ShardPlan`, and the store
+  dedupe makes any overlap with work the dead instance already committed
+  free;
+* a submission whose full job-key set is answered by the store is marked
+  ``done`` (or ``failed`` when some jobs failed permanently);
+* a submission with no live workers stays ``queued`` and is retried on a
+  later tick when an instance (re)appears.
+
+Exports and reports for a submission cover the *whole* campaign (the full
+shard plan), so they are byte-identical to a single-instance
+``an5d campaign run`` over the same spec — the acceptance bar for the whole
+layer.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.campaign.jobs import CampaignSpec, shard_of_key
+from repro.campaign.scheduler import CampaignScheduler, ShardPlan
+from repro.campaign.store import ResultStore
+from repro.cluster.client import ClusterClient, ClusterError, ClusterHTTPError
+from repro.cluster.registry import InstanceRegistry
+
+#: Submission lifecycle states recorded in the queue.
+SUBMISSION_STATES = ("queued", "dispatched", "done", "failed")
+
+#: Most recent settled submissions included in the aggregated status view
+#: (unfinished submissions are always included); bounds the payload of
+#: ``GET /cluster/status`` on long-lived stores.
+STATUS_SETTLED_LIMIT = 50
+
+#: Cached settled-status payloads kept in memory (insertion-ordered evict).
+SETTLED_CACHE_LIMIT = 128
+
+#: Ticks without progress after which a dispatched submission is re-forwarded.
+#: Heartbeat liveness cannot see run-level failures on an instance that stays
+#: up (a crashed scheduler run, a worker restarted under the same id whose
+#: in-memory queue is gone); re-forwarding is idempotent on the worker, so a
+#: stalled submission is simply handed out again.
+STALL_TICKS = 3
+
+
+class ClusterCoordinator:
+    """Plans, forwards and watches campaigns across registered instances."""
+
+    #: Forwarding budget per peer: fan-out runs inline under the submission
+    #: lock, so a wedged-but-registered worker must cost bounded time
+    #: (timeout x (retries + 1) well below a submitting client's patience).
+    FORWARD_TIMEOUT_S = 5.0
+    FORWARD_RETRIES = 1
+
+    def __init__(
+        self,
+        store: ResultStore,
+        registry: InstanceRegistry,
+        client: Optional[ClusterClient] = None,
+    ) -> None:
+        self.store = store
+        self.registry = registry
+        self.client = client or ClusterClient(
+            timeout=self.FORWARD_TIMEOUT_S, retries=self.FORWARD_RETRIES
+        )
+        # tick() may be driven by a monitor thread *and* ad-hoc callers
+        # (tests, CLI); planning for one submission must not interleave.
+        # Locks are per submission: a hung peer stalls only the submission
+        # being forwarded to it, never the whole submission path.
+        self._locks: Dict[str, threading.Lock] = {}
+        self._locks_guard = threading.Lock()
+        # sid -> (settled jobs at last tick, ticks without progress).
+        self._stall: Dict[str, Tuple[int, int]] = {}
+        # Settled submissions cannot change *at one updated_at stamp*; their
+        # status payloads are cached keyed on that stamp so /cluster/status
+        # does not re-expand every historical campaign, while a re-opened
+        # submission (bumped updated_at, possibly via another member)
+        # invalidates naturally on every cluster member.
+        self._settled_cache: Dict[str, Tuple[float, Dict[str, object]]] = {}
+
+    def _submission_lock(self, sid: str) -> threading.Lock:
+        with self._locks_guard:
+            return self._locks.setdefault(sid, threading.Lock())
+
+    # -- submissions -----------------------------------------------------------
+    def submit(self, spec: CampaignSpec) -> Dict[str, object]:
+        """Queue one campaign, partition it over live workers and fan out.
+
+        Idempotent: an in-flight submission of the same spec is returned
+        as-is; a finished one is re-opened (and served from the warm store
+        by every worker).
+        """
+        sid = spec.short_id()
+        with self._submission_lock(sid):
+            existing = self.store.get_submission(sid)
+            if existing is None or existing["state"] in ("done", "failed"):
+                live = self.registry.live_workers()
+                shards = max(1, len(live))
+                self.store.enqueue_submission(sid, spec.canonical(), shards)
+                self.store.clear_assignments(sid)
+                self._settled_cache.pop(sid, None)
+                self._stall.pop(sid, None)
+                self._fan_out(sid)
+        return self.submission_status(sid)
+
+    def _load(self, sid: str) -> Tuple[Dict[str, object], CampaignSpec]:
+        row = self.store.get_submission(sid)
+        if row is None:
+            raise KeyError(f"unknown submission {sid!r}")
+        return row, CampaignSpec.from_json(json.loads(row["spec"]))
+
+    def _fan_out(self, sid: str) -> None:
+        """(Re-)assign every shard to a live worker and forward the slices.
+
+        Instances that refuse a forward are treated as dead for the rest of
+        this pass, so their shards re-home immediately; if no live worker
+        remains the submission stays ``queued`` for a later tick.
+        """
+        row, spec = self._load(sid)
+        shards = int(row["shards"])
+        assigned: Dict[int, str] = {
+            int(r["shard_index"]): str(r["instance_id"])
+            for r in self.store.assignment_rows(sid)
+        }
+        bad: set = set()
+        # Each round either succeeds or marks at least one instance bad, so
+        # the loop is bounded by the registry size.
+        while True:
+            live = [i for i in self.registry.live_workers() if i.instance_id not in bad]
+            if not live:
+                self.store.update_submission(sid, "queued")
+                return
+            live_ids = {instance.instance_id for instance in live}
+            load = {iid: 0 for iid in live_ids}
+            for owner in assigned.values():
+                if owner in load:
+                    load[owner] += 1
+            for index in range(shards):
+                owner = assigned.get(index)
+                if owner in live_ids:
+                    continue
+                # Least-loaded live worker (ties: registration order).
+                new_owner = min(live, key=lambda i: load[i.instance_id])
+                assigned[index] = new_owner.instance_id
+                load[new_owner.instance_id] += 1
+            groups: Dict[str, List[int]] = {}
+            for index, owner in sorted(assigned.items()):
+                groups.setdefault(owner, []).append(index)
+            failures = set()
+            for instance in live:
+                indices = groups.get(instance.instance_id)
+                if not indices:
+                    continue
+                plan = ShardPlan(shards, tuple(indices))
+                try:
+                    self.client.assign(instance.url, spec, plan)
+                except ClusterHTTPError as error:
+                    if error.status == 400:
+                        # A spec/plan rejection is deterministic: the same
+                        # envelope would be refused by every peer, so
+                        # retrying elsewhere forever would just hide it.
+                        # Fail the submission loudly.
+                        self.store.update_submission(sid, "failed")
+                        return
+                    # Other rejections (404 route missing on an old binary,
+                    # 409 wrong role) are instance-specific — route around
+                    # that instance like an unreachable one.
+                    failures.add(instance.instance_id)
+                except ClusterError:
+                    failures.add(instance.instance_id)
+            if not failures:
+                for index, owner in assigned.items():
+                    self.store.set_assignment(sid, index, owner)
+                self.store.update_submission(sid, "dispatched")
+                return
+            bad |= failures
+            for index, owner in list(assigned.items()):
+                if owner in failures:
+                    del assigned[index]
+
+    # -- progress --------------------------------------------------------------
+    def _full_scheduler(self, spec: CampaignSpec) -> CampaignScheduler:
+        return CampaignScheduler(spec, self.store, plan=ShardPlan())
+
+    def progress(self, sid: str) -> Dict[str, int]:
+        """Whole-campaign progress (every shard), straight from the store."""
+        _, spec = self._load(sid)
+        return self._full_scheduler(spec).progress_counts()
+
+    def job_keys(self, sid: str) -> List[str]:
+        """The full campaign's job content addresses (exports/reports)."""
+        _, spec = self._load(sid)
+        return self._full_scheduler(spec).job_keys()
+
+    def submission_status(self, sid: str) -> Dict[str, object]:
+        """One submission: state, spec, shard assignments, merged progress.
+
+        One campaign expansion and one store lookup serve the totals *and*
+        every per-instance slice — this endpoint is polled, so it must not
+        scale with the number of assigned instances.
+        """
+        row, spec = self._load(sid)
+        shards = int(row["shards"])
+        keys = [job.key() for job in spec.expand()]
+        statuses = self.store.statuses(keys)
+
+        def counts(subset: List[str]) -> Dict[str, int]:
+            done = sum(1 for key in subset if statuses.get(key) == "ok")
+            known = sum(1 for key in subset if key in statuses)
+            return {
+                "total": len(subset),
+                "done": done,
+                "failed": known - done,
+                "pending": len(subset) - known,
+            }
+
+        by_shard: Dict[int, List[str]] = {}
+        for key in keys:
+            by_shard.setdefault(shard_of_key(key, shards), []).append(key)
+        groups: Dict[str, List[int]] = {}
+        for assignment in self.store.assignment_rows(sid):
+            groups.setdefault(str(assignment["instance_id"]), []).append(
+                int(assignment["shard_index"])
+            )
+        per_instance = {
+            iid: {
+                "shard_indices": indices,
+                "progress": counts(
+                    [key for index in indices for key in by_shard.get(index, [])]
+                ),
+            }
+            for iid, indices in sorted(groups.items())
+        }
+        return {
+            "id": sid,
+            "state": row["state"],
+            "shards": shards,
+            "describe": spec.describe(),
+            "spec": spec.to_json(),
+            "jobs": counts(keys),
+            "instances": per_instance,
+        }
+
+    # -- supervision -----------------------------------------------------------
+    def tick(self) -> Dict[str, object]:
+        """One supervision pass: settle finished work, re-home lapsed shards."""
+        settled: List[str] = []
+        redispatched: List[str] = []
+        for row in self.store.submission_rows():
+            if row["state"] in ("done", "failed"):
+                continue
+            sid = str(row["id"])
+            with self._submission_lock(sid):
+                row = self.store.get_submission(sid)
+                if row is None or row["state"] in ("done", "failed"):
+                    continue
+                progress = self.progress(sid)
+                if progress["pending"] == 0:
+                    state = "failed" if progress["failed"] else "done"
+                    self.store.update_submission(sid, state)
+                    self._stall.pop(sid, None)
+                    settled.append(sid)
+                    continue
+                assigned = {
+                    int(r["shard_index"]): str(r["instance_id"])
+                    for r in self.store.assignment_rows(sid)
+                }
+                live = self.registry.live_workers()
+                live_ids = {i.instance_id for i in live}
+                if not assigned and live and int(row["shards"]) != len(live):
+                    # Nothing was ever dispatched (e.g. submitted while no
+                    # worker was live): re-partition for the current
+                    # membership instead of staying frozen at the old count.
+                    self.store.enqueue_submission(sid, str(row["spec"]), len(live))
+                    row = self.store.get_submission(sid)
+                uncovered = set(range(int(row["shards"]))) - set(assigned)
+                lapsed = {owner for owner in assigned.values() if owner not in live_ids}
+                # Stall detection: owners can be live yet have lost the run
+                # (crashed scheduler pass, worker restarted under the same
+                # id).  No progress for STALL_TICKS ticks -> re-forward.
+                done_now = progress["done"] + progress["failed"]
+                last_done, stalled = self._stall.get(sid, (-1, 0))
+                stalled = 0 if done_now != last_done else stalled + 1
+                self._stall[sid] = (done_now, stalled)
+                if row["state"] == "queued" or uncovered or lapsed or stalled >= STALL_TICKS:
+                    self._stall[sid] = (done_now, 0)
+                    self._fan_out(sid)
+                    redispatched.append(sid)
+        return {"settled": settled, "redispatched": redispatched}
+
+    def _cached_submission_status(self, row: Dict[str, object]) -> Dict[str, object]:
+        """Status of one submission, served from cache once it settled.
+
+        A settled (done/failed) submission cannot change without its
+        ``updated_at`` stamp moving (a re-submission — possibly accepted by a
+        *different* cluster member — re-opens it and bumps the stamp), so the
+        stamp is the cache key: full payloads are computed once per settle on
+        every member, never served stale.
+        """
+        sid = str(row["id"])
+        if row["state"] in ("done", "failed"):
+            stamp = float(row["updated_at"])  # type: ignore[arg-type]
+            cached = self._settled_cache.get(sid)
+            if cached is None or cached[0] != stamp:
+                cached = (stamp, self.submission_status(sid))
+                self._settled_cache[sid] = cached
+                while len(self._settled_cache) > SETTLED_CACHE_LIMIT:
+                    self._settled_cache.pop(next(iter(self._settled_cache)))
+            return cached[1]
+        return self.submission_status(sid)
+
+    def status(self, settled_limit: int = STATUS_SETTLED_LIMIT) -> Dict[str, object]:
+        """The aggregated cluster view served by ``GET /cluster/status``.
+
+        Every unfinished submission is included; settled history is capped at
+        the ``settled_limit`` most recent, so the payload (and the work to
+        produce it) stays bounded on stores that have seen many campaigns.
+        """
+        rows = self.store.submission_rows()
+        unsettled = [row for row in rows if row["state"] not in ("done", "failed")]
+        settled = [row for row in rows if row["state"] in ("done", "failed")]
+        keep = unsettled + settled[-max(0, settled_limit):]
+        keep.sort(key=lambda row: (row["created_at"], row["id"]))
+        return {
+            "instances": self.registry.summaries(),
+            "submissions": [self._cached_submission_status(row) for row in keep],
+        }

@@ -1,0 +1,115 @@
+"""Boot a whole cluster — N worker instances plus a coordinator — in-process.
+
+This is the one-command local topology behind ``an5d cluster up``: every
+instance is a full :class:`~repro.service.app.CampaignServer` on its own
+ephemeral port, all sharing one :class:`~repro.campaign.store.ResultStore`
+object, with the coordinator running the supervision loop.  Tests and
+``benchmarks/bench_cluster.py`` drive the same class.
+
+In-process instances share the GIL, so CPU-bound scaling is better observed
+with separate ``an5d serve --cluster`` processes (the CI cluster-smoke job's
+topology); LocalCluster trades that for a single-command bring-up with real
+HTTP between the members.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.campaign.store import ResultStore
+from repro.cluster.registry import ClusterConfig
+
+#: Test/local-friendly heartbeat cadence (instances share a process anyway).
+LOCAL_HEARTBEAT_INTERVAL = 0.2
+LOCAL_LIVENESS_TIMEOUT = 2.0
+
+
+class LocalCluster:
+    """N cooperating ``an5d serve`` instances on one store, one process."""
+
+    def __init__(
+        self,
+        store: Union[str, Path, ResultStore] = "campaign.sqlite",
+        instances: int = 2,
+        host: str = "127.0.0.1",
+        settings: Optional[object] = None,  # service.WorkerSettings
+        heartbeat_interval: float = LOCAL_HEARTBEAT_INTERVAL,
+        liveness_timeout: float = LOCAL_LIVENESS_TIMEOUT,
+        prefix: str = "w",
+    ) -> None:
+        if instances < 1:
+            raise ValueError("a cluster needs at least one worker instance")
+        self._owns_store = not isinstance(store, ResultStore)
+        self.store = ResultStore(store) if self._owns_store else store
+        self.instances = int(instances)
+        self.host = host
+        self.settings = settings
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.liveness_timeout = float(liveness_timeout)
+        self.prefix = prefix
+        self.coordinator = None  # type: Optional[object]  # CampaignServer
+        self.workers: List[object] = []  # CampaignServer
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self) -> "LocalCluster":
+        # Imported lazily: repro.service.app imports repro.cluster, so a
+        # top-level import here would be circular.
+        from repro.service.app import CampaignServer
+
+        def server(instance_id: str, role: str) -> CampaignServer:
+            return CampaignServer(
+                host=self.host,
+                port=0,
+                store=self.store,
+                settings=self.settings,
+                cluster=ClusterConfig(
+                    instance_id=instance_id,
+                    role=role,
+                    heartbeat_interval=self.heartbeat_interval,
+                    liveness_timeout=self.liveness_timeout,
+                ),
+            )
+
+        try:
+            self.coordinator = server(f"{self.prefix}-coordinator", "coordinator")
+            self.workers = [
+                server(f"{self.prefix}{index}", "worker")
+                for index in range(1, self.instances + 1)
+            ]
+            # Workers first: by the time the coordinator's monitor thread
+            # runs its first tick, every worker has registered.
+            for worker in self.workers:
+                worker.start()
+            self.coordinator.start()
+        except Exception:
+            self.stop()
+            raise
+        return self
+
+    def stop(self) -> None:
+        for server_ in [*self.workers, self.coordinator]:
+            if server_ is not None:
+                server_.stop()
+        self.workers = []
+        self.coordinator = None
+        if self._owns_store:
+            self.store.close()
+
+    def __enter__(self) -> "LocalCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- addresses -------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        """The coordinator's base URL (submissions and aggregated views)."""
+        if self.coordinator is None:
+            raise RuntimeError("cluster is not running")
+        return self.coordinator.url
+
+    @property
+    def worker_urls(self) -> List[str]:
+        return [worker.url for worker in self.workers]

@@ -17,7 +17,9 @@ set.
     The transport-agnostic routing table (Request -> Response).
 ``app``
     :class:`CampaignApp` (handlers) and :class:`CampaignServer`
-    (ThreadingHTTPServer wrapper with ephemeral-port support).
+    (ThreadingHTTPServer wrapper with ephemeral-port support).  Pass a
+    :class:`~repro.cluster.registry.ClusterConfig` to join a cluster of
+    instances sharing one store (see :mod:`repro.cluster`).
 
 Quick use::
 

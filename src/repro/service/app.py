@@ -7,6 +7,13 @@ the endpoints listed in :mod:`repro.service.routes` and are plain functions
 over :class:`~repro.service.routes.Request`, so the whole service can be
 exercised without a socket.
 
+With a :class:`~repro.cluster.registry.ClusterConfig` the app becomes a
+cluster member: it registers itself in the store's instance registry, runs a
+heartbeat thread, accepts coordinator shard assignments on
+``POST /campaigns/assigned``, and — in the coordinator role — accepts whole
+campaigns on ``POST /cluster/campaigns``, fans shards out to live instances
+and supervises re-assignment on a monitor thread.
+
 :class:`CampaignServer` wraps the app in a ``ThreadingHTTPServer``: request
 threads only ever read the store and enqueue work; the worker loop owns all
 campaign execution.  Bind to port ``0`` for an ephemeral port (tests, CI).
@@ -14,20 +21,24 @@ campaign execution.  Bind to port ``0`` for an ephemeral port (tests, CI).
 
 from __future__ import annotations
 
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Optional, Union
+from typing import List, Optional, Sequence, Union
 from urllib.parse import parse_qsl, urlsplit
 
 import repro
 from repro.campaign.report import REPORTS
 from repro.campaign.store import ResultStore
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.registry import ClusterConfig, InstanceRegistry
 from repro.service.routes import Request, Response, dispatch, route_table
 from repro.service.worker import CampaignWorker, WorkerSettings
 from repro.service.wire import (
     JSONL_TYPE,
     WireError,
+    decode_assignment,
     decode_campaign_spec,
     etag,
     render_table,
@@ -36,22 +47,97 @@ from repro.service.wire import (
 
 
 class CampaignApp:
-    """Endpoint handlers over one store and one worker."""
+    """Endpoint handlers over one store, one worker and (optionally) a cluster."""
 
     def __init__(
         self,
         store: Union[str, Path, ResultStore] = "campaign.sqlite",
         settings: Optional[WorkerSettings] = None,
+        cluster: Optional[ClusterConfig] = None,
     ) -> None:
         self._owns_store = not isinstance(store, ResultStore)
         self.store = ResultStore(store) if self._owns_store else store
         self.worker = CampaignWorker(self.store, settings)
+        self.cluster = cluster
+        self.registry: Optional[InstanceRegistry] = None
+        self.coordinator: Optional[ClusterCoordinator] = None
+        self._endpoint: Optional[tuple] = None  # (host, port) once bound
+        self._cluster_stop = threading.Event()
+        self._cluster_threads: List[threading.Thread] = []
+        if cluster is not None:
+            self.registry = InstanceRegistry(
+                self.store, liveness_timeout=cluster.liveness_timeout
+            )
+            self.coordinator = ClusterCoordinator(self.store, self.registry)
 
     # -- lifecycle -------------------------------------------------------------
+    def set_endpoint(self, host: str, port: int) -> None:
+        """Record the HTTP address this app is reachable at (pre-``start``)."""
+        self._endpoint = (host, int(port))
+
     def start(self) -> None:
         self.worker.start()
+        if self.cluster is None:
+            return
+        if self._endpoint is None:
+            raise RuntimeError("cluster mode needs set_endpoint() before start()")
+        host, port = self._endpoint
+        self.registry.register(
+            self.cluster.instance_id,
+            host,
+            port,
+            role=self.cluster.role,
+            capabilities={
+                "workers": self.worker.settings.workers,
+                "concurrency": self.worker.settings.concurrency,
+            },
+        )
+        self._cluster_stop.clear()
+        self._cluster_threads = [
+            threading.Thread(
+                target=self._heartbeat_loop, name="cluster-heartbeat", daemon=True
+            )
+        ]
+        if self.cluster.coordinates:
+            self._cluster_threads.append(
+                threading.Thread(
+                    target=self._monitor_loop, name="cluster-monitor", daemon=True
+                )
+            )
+        for thread in self._cluster_threads:
+            thread.start()
+
+    def _heartbeat_loop(self) -> None:
+        while not self._cluster_stop.wait(self.cluster.heartbeat_interval):
+            try:
+                self.registry.heartbeat(self.cluster.instance_id)
+            except Exception:  # noqa: BLE001 — a missed beat is not fatal
+                pass
+
+    def _monitor_loop(self) -> None:
+        while not self._cluster_stop.wait(self.cluster.heartbeat_interval):
+            try:
+                self.coordinator.tick()
+            except Exception:  # noqa: BLE001 — supervision must keep running
+                pass
+
+    def _stop_cluster(self, deregister: bool) -> None:
+        self._cluster_stop.set()
+        for thread in self._cluster_threads:
+            thread.join(timeout=5.0)
+        self._cluster_threads = []
+        if deregister and self.cluster is not None and self.registry is not None:
+            try:
+                self.registry.deregister(self.cluster.instance_id)
+            except Exception:  # noqa: BLE001 — the store may already be gone
+                pass
 
     def close(self) -> None:
+        # A graceful shutdown leaves the registry (the cluster's
+        # source of truth) without this instance, so coordinators stop
+        # planning work onto it immediately instead of after a heartbeat
+        # lapse.
+        self._stop_cluster(deregister=True)
         stopped = self.worker.stop()
         # If the worker could not drain in time, a campaign is still running
         # on its executor thread; leaking the store beats yanking SQLite
@@ -59,21 +145,35 @@ class CampaignApp:
         if self._owns_store and stopped:
             self.store.close()
 
+    def kill(self) -> None:
+        """Simulate a crash: no drain, no deregistration, heartbeats stop.
+
+        The instance's registry row stays behind with an aging heartbeat —
+        exactly what a SIGKILL leaves — so coordinator re-assignment can be
+        exercised in-process.
+        """
+        self._stop_cluster(deregister=False)
+        self.worker.kill()
+
     def handle(self, request: Request) -> Response:
         return dispatch(self, request)
 
     # -- endpoint handlers -----------------------------------------------------
     def health(self, request: Request) -> Response:
-        return Response.json(
-            {
-                "status": "ok",
-                "version": repro.__version__,
-                "store": self.store.path,
-                "results": self.store.count(),
-                "campaigns": len(self.worker.records()),
-                "routes": route_table(),
+        payload = {
+            "status": "ok",
+            "version": repro.__version__,
+            "store": self.store.path,
+            "results": self.store.count(),
+            "campaigns": len(self.worker.records()),
+            "routes": route_table(),
+        }
+        if self.cluster is not None:
+            payload["cluster"] = {
+                "instance_id": self.cluster.instance_id,
+                "role": self.cluster.role,
             }
-        )
+        return Response.json(payload)
 
     def submit_campaign(self, request: Request) -> Response:
         spec = decode_campaign_spec(request.body)
@@ -88,6 +188,20 @@ class CampaignApp:
         }
         return Response.json(payload, status=202)
 
+    def assigned_campaign(self, request: Request) -> Response:
+        """Coordinator forwarding target: run one shard plan of a campaign."""
+        spec, plan = decode_assignment(request.body)
+        record = self.worker.submit(spec, plan=plan)
+        payload = {
+            "id": record.id,
+            "state": record.state,
+            "runs": record.runs,
+            "shard_plan": plan.to_json(),
+            "jobs": len(self.worker.job_keys(record.id) or ()),
+            "url": f"/campaigns/{record.id}",
+        }
+        return Response.json(payload, status=202)
+
     def list_campaigns(self, request: Request) -> Response:
         return Response.json(
             {"campaigns": [record.summary() for record in self.worker.records()]}
@@ -99,10 +213,7 @@ class CampaignApp:
             raise WireError(f"unknown campaign {cid!r}", status=404)
         return Response.json(status)
 
-    def campaign_report(self, request: Request, cid: str) -> Response:
-        keys = self.worker.job_keys(cid)
-        if keys is None:
-            raise WireError(f"unknown campaign {cid!r}", status=404)
+    def _render_report(self, request: Request, keys: Sequence[str]) -> Response:
         kind = request.param("kind", "table5")
         builder = REPORTS.get(kind)
         if builder is None:
@@ -126,10 +237,7 @@ class CampaignApp:
         body, content_type = render_table(table, request.param("format", "json"))
         return Response(body=body, content_type=content_type)
 
-    def campaign_export(self, request: Request, cid: str) -> Response:
-        keys = self.worker.job_keys(cid)
-        if keys is None:
-            raise WireError(f"unknown campaign {cid!r}", status=404)
+    def _stream_export(self, request: Request, keys: Sequence[str]) -> Response:
         ok_only = request.param("status", "ok") == "ok"
         key_set = frozenset(keys)
         records = [
@@ -144,6 +252,73 @@ class CampaignApp:
             headers={"ETag": digest, "X-Result-Count": str(len(records))},
             stream=(line.encode("utf-8") for line in lines),
         )
+
+    def campaign_report(self, request: Request, cid: str) -> Response:
+        keys = self.worker.job_keys(cid)
+        if keys is None:
+            raise WireError(f"unknown campaign {cid!r}", status=404)
+        return self._render_report(request, keys)
+
+    def campaign_export(self, request: Request, cid: str) -> Response:
+        keys = self.worker.job_keys(cid)
+        if keys is None:
+            raise WireError(f"unknown campaign {cid!r}", status=404)
+        return self._stream_export(request, keys)
+
+    # -- cluster endpoints -----------------------------------------------------
+    def _require_cluster(self) -> ClusterCoordinator:
+        if self.coordinator is None:
+            raise WireError(
+                "this instance is not a cluster member (start it with --cluster)",
+                status=409,
+            )
+        return self.coordinator
+
+    def _require_coordinator(self) -> ClusterCoordinator:
+        coordinator = self._require_cluster()
+        if not self.cluster.coordinates:
+            raise WireError(
+                "this instance is not a coordinator; submit to the "
+                "coordinator's /cluster/campaigns instead",
+                status=409,
+            )
+        return coordinator
+
+    def cluster_status(self, request: Request) -> Response:
+        return Response.json(self._require_cluster().status())
+
+    def cluster_instances(self, request: Request) -> Response:
+        self._require_cluster()
+        return Response.json({"instances": self.registry.summaries()})
+
+    def cluster_submit(self, request: Request) -> Response:
+        coordinator = self._require_coordinator()
+        spec = decode_campaign_spec(request.body)
+        payload = coordinator.submit(spec)
+        payload["url"] = f"/cluster/campaigns/{payload['id']}"
+        return Response.json(payload, status=202)
+
+    def _submission_keys(self, sid: str) -> List[str]:
+        coordinator = self._require_cluster()
+        try:
+            return coordinator.job_keys(sid)
+        except KeyError:
+            raise WireError(f"unknown submission {sid!r}", status=404) from None
+
+    def cluster_campaign_status(self, request: Request, sid: str) -> Response:
+        coordinator = self._require_cluster()
+        try:
+            return Response.json(coordinator.submission_status(sid))
+        except KeyError:
+            raise WireError(f"unknown submission {sid!r}", status=404) from None
+
+    def cluster_report(self, request: Request, sid: str) -> Response:
+        return self._render_report(request, self._submission_keys(sid))
+
+    def cluster_export(self, request: Request, sid: str) -> Response:
+        # The full campaign's keys — whichever instances computed them — so
+        # the stream is byte-identical to a single-instance run.
+        return self._stream_export(request, self._submission_keys(sid))
 
 
 class _CampaignRequestHandler(BaseHTTPRequestHandler):
@@ -225,6 +400,8 @@ class CampaignServer:
     >>> server.stop()
 
     ``run()`` serves on the calling thread until interrupted (the CLI path).
+    Pass a :class:`~repro.cluster.registry.ClusterConfig` to join (or
+    coordinate) a cluster of instances sharing the store.
     """
 
     def __init__(
@@ -234,8 +411,10 @@ class CampaignServer:
         store: Union[str, Path, ResultStore] = "campaign.sqlite",
         settings: Optional[WorkerSettings] = None,
         quiet: bool = True,
+        cluster: Optional[ClusterConfig] = None,
+        advertise_host: Optional[str] = None,
     ) -> None:
-        self.app = CampaignApp(store, settings)
+        self.app = CampaignApp(store, settings, cluster=cluster)
         handler = type(
             "BoundCampaignRequestHandler",
             (_CampaignRequestHandler,),
@@ -245,6 +424,13 @@ class CampaignServer:
         self._httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
         self.host, self.port = self._httpd.server_address[:2]
+        # Peers dial what the registry advertises.  A wildcard bind address
+        # is not dialable, so fall back to ``advertise_host`` (multi-box
+        # deployments) or this host's name.
+        advertised = advertise_host or self.host
+        if advertised in ("0.0.0.0", "::", ""):
+            advertised = socket.gethostname()
+        self.app.set_endpoint(advertised, self.port)
 
     @property
     def url(self) -> str:
@@ -277,6 +463,20 @@ class CampaignServer:
             self._thread.join(timeout=5.0)
             self._thread = None
         self.app.close()
+
+    def kill(self) -> None:
+        """Crash-stop: close the socket, abandon work, keep the registry row.
+
+        What remains is exactly the footprint of a killed process — an
+        instance whose heartbeat stops aging forward — which the cluster
+        coordinator detects and routes around.
+        """
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.app.kill()
 
     def __enter__(self) -> "CampaignServer":
         self.start()

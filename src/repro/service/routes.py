@@ -11,6 +11,9 @@ Endpoints
     Liveness probe: store path and campaign counts.
 ``POST /campaigns``
     Submit a campaign spec (JSON); returns its id (202).
+``POST /campaigns/assigned``
+    Coordinator forwarding target: a campaign spec plus the shard plan this
+    instance must run (202).
 ``GET  /campaigns``
     All known campaigns in submission order.
 ``GET  /campaigns/{id}``
@@ -19,6 +22,19 @@ Endpoints
     A rendered report table (``format=json|jsonl|text``).
 ``GET  /campaigns/{id}/export``
     The campaign's results, streamed as deterministic JSONL.
+``GET  /cluster/status``
+    Aggregated cluster view: instances with liveness, submissions with
+    per-instance merged progress.
+``GET  /cluster/instances``
+    The instance registry with heartbeat-derived liveness.
+``POST /cluster/campaigns``
+    Submit a campaign to the coordinator, which shards it over live
+    instances (202).
+``GET  /cluster/campaigns/{id}``
+    One cluster submission: state, shard assignments, merged progress.
+``GET  /cluster/campaigns/{id}/report`` / ``GET /cluster/campaigns/{id}/export``
+    Whole-campaign reports/exports — byte-identical to a single-instance
+    run over the same spec.
 """
 
 from __future__ import annotations
@@ -69,9 +85,17 @@ _ROUTES: Tuple[Tuple[str, "re.Pattern[str]", str], ...] = tuple(
         ("GET", r"^/healthz$", "health"),
         ("POST", r"^/campaigns$", "submit_campaign"),
         ("GET", r"^/campaigns$", "list_campaigns"),
+        # /campaigns/assigned must precede the {cid} capture routes.
+        ("POST", r"^/campaigns/assigned$", "assigned_campaign"),
         ("GET", r"^/campaigns/(?P<cid>[A-Za-z0-9_-]+)$", "campaign_status"),
         ("GET", r"^/campaigns/(?P<cid>[A-Za-z0-9_-]+)/report$", "campaign_report"),
         ("GET", r"^/campaigns/(?P<cid>[A-Za-z0-9_-]+)/export$", "campaign_export"),
+        ("GET", r"^/cluster/status$", "cluster_status"),
+        ("GET", r"^/cluster/instances$", "cluster_instances"),
+        ("POST", r"^/cluster/campaigns$", "cluster_submit"),
+        ("GET", r"^/cluster/campaigns/(?P<sid>[A-Za-z0-9_-]+)$", "cluster_campaign_status"),
+        ("GET", r"^/cluster/campaigns/(?P<sid>[A-Za-z0-9_-]+)/report$", "cluster_report"),
+        ("GET", r"^/cluster/campaigns/(?P<sid>[A-Za-z0-9_-]+)/export$", "cluster_export"),
     )
 )
 

@@ -18,16 +18,13 @@ import json
 from typing import Dict, Mapping, Tuple
 
 from repro.campaign.jobs import CampaignSpec, JobSpec
+from repro.campaign.scheduler import ShardPlan
 from repro.reporting import ResultTable
 
 #: Media types used by the service responses.
 JSON_TYPE = "application/json"
 JSONL_TYPE = "application/jsonl"
 TEXT_TYPE = "text/plain; charset=utf-8"
-
-#: Length of the campaign-id digest suffix ("c" + first 12 hex chars).
-_ID_DIGITS = 12
-
 
 class WireError(ValueError):
     """A request that cannot be served; carries the HTTP status to send."""
@@ -42,9 +39,10 @@ def campaign_id(spec: CampaignSpec) -> str:
 
     Alias-equivalent submissions (``"v100"`` vs ``"V100"``, repeated matrix
     entries, an explicit all-benchmarks list vs the default) share one id,
-    so re-submitting the same work converges on the same campaign record.
+    so re-submitting the same work converges on the same campaign record —
+    and the cluster coordinator's submission ids are the same ids.
     """
-    return "c" + spec.key()[:_ID_DIGITS]
+    return spec.short_id()
 
 
 def decode_json(body: bytes) -> object:
@@ -57,14 +55,50 @@ def decode_json(body: bytes) -> object:
         raise WireError(f"invalid JSON body: {error}") from None
 
 
-def decode_campaign_spec(body: bytes) -> CampaignSpec:
-    """Decode and validate a submitted campaign spec (strict, alias-safe)."""
-    data = decode_json(body)
+def _campaign_spec_from_json(data: object) -> CampaignSpec:
+    """Decode one campaign-spec mapping, mapping failures to HTTP 400.
+
+    Shared by every submit route (direct and assignment envelope) so the
+    two paths can never drift in what they accept — a drift would break
+    content-address stability across routes.
+    """
     try:
         return CampaignSpec.from_json(data)  # type: ignore[arg-type]
     except (KeyError, ValueError) as error:
         message = error.args[0] if error.args and isinstance(error.args[0], str) else error
         raise WireError(f"invalid campaign spec: {message}") from None
+
+
+def decode_campaign_spec(body: bytes) -> CampaignSpec:
+    """Decode and validate a submitted campaign spec (strict, alias-safe)."""
+    return _campaign_spec_from_json(decode_json(body))
+
+
+def decode_assignment(body: bytes) -> Tuple[CampaignSpec, ShardPlan]:
+    """Decode a coordinator shard assignment: a spec plus its shard plan.
+
+    The envelope is ``{"spec": {...}, "shards": N, "shard_indices": [...]}``.
+    Both halves validate here, at the wire — a malformed shard plan (index
+    out of range, zero shards, non-integer fields) is a structured 400, not
+    a 500 thrown later out of the worker loop.
+    """
+    data = decode_json(body)
+    if not isinstance(data, Mapping):
+        raise WireError("assignment must be a JSON object")
+    unknown = sorted(set(data) - {"spec", "shards", "shard_indices"})
+    if unknown:
+        raise WireError(f"unknown assignment field(s): {', '.join(unknown)}")
+    if "spec" not in data:
+        raise WireError("assignment is missing its campaign 'spec'")
+    spec = _campaign_spec_from_json(data["spec"])
+    try:
+        plan = ShardPlan.from_json(
+            {k: v for k, v in data.items() if k in ("shards", "shard_indices")}
+        )
+    except (TypeError, ValueError) as error:
+        message = error.args[0] if error.args and isinstance(error.args[0], str) else error
+        raise WireError(f"invalid shard plan: {message}") from None
+    return spec, plan
 
 
 def decode_job_spec(data: Mapping[str, object]) -> JobSpec:

@@ -14,6 +14,14 @@ One daemon thread runs an asyncio event loop that drains submitted
 Every result commits to the shared store the moment it finishes, which is
 the whole resume story: killing the server process loses at most in-flight
 jobs, and the next submission of the same spec is served from the store.
+
+In cluster mode a submission carries an externally supplied
+:class:`~repro.campaign.scheduler.ShardPlan` — the coordinator's shard
+assignment for this instance — which overrides the worker's default
+(settings-derived) plan for that campaign.  Re-forwarding the same campaign
+with a *different* plan (how the coordinator re-assigns the shards of a dead
+instance) re-enqueues it under the new plan; the scheduler's store dedupe
+makes the overlap free.
 """
 
 from __future__ import annotations
@@ -21,11 +29,11 @@ from __future__ import annotations
 import asyncio
 import itertools
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.campaign.jobs import CampaignSpec
-from repro.campaign.scheduler import CampaignOutcome, CampaignScheduler
+from repro.campaign.scheduler import CampaignOutcome, CampaignScheduler, ShardPlan
 from repro.campaign.store import ResultStore
 from repro.service.wire import campaign_id
 
@@ -42,8 +50,13 @@ class CampaignRecord:
     state: str = "queued"
     runs: int = 0
     submitted_seq: int = 0
+    plan: Optional[ShardPlan] = None  # None = the worker's default slice
     outcome: Optional[CampaignOutcome] = None
     error: Optional[str] = None
+    # Re-submitting an in-flight campaign under a widened plan enqueues the
+    # record again; this lock serialises the two scheduler runs so they never
+    # execute the overlapping slice concurrently.
+    run_lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def summary(self) -> Dict[str, object]:
         summary: Dict[str, object] = {
@@ -52,6 +65,8 @@ class CampaignRecord:
             "runs": self.runs,
             "describe": self.spec.describe(),
         }
+        if self.plan is not None:
+            summary["shard_plan"] = self.plan.to_json()
         if self.outcome is not None:
             summary["outcome"] = self.outcome.as_row()
         if self.error is not None:
@@ -70,6 +85,10 @@ class WorkerSettings:
     shards: int = 1
     shard_index: int = 0
 
+    def plan(self) -> ShardPlan:
+        """The default shard plan these settings describe (validates them)."""
+        return ShardPlan(self.shards, (self.shard_index,))
+
 
 class CampaignWorker:
     """Drains submitted campaigns through the scheduler on an asyncio loop."""
@@ -77,6 +96,9 @@ class CampaignWorker:
     def __init__(self, store: ResultStore, settings: Optional[WorkerSettings] = None) -> None:
         self.store = store
         self.settings = settings or WorkerSettings()
+        # Validate shard settings up front: a bad ``--shards/--shard`` pair
+        # must fail at construction, not as a 500 out of the worker loop.
+        self._default_plan = self.settings.plan()
         self._records: Dict[str, CampaignRecord] = {}
         self._lock = threading.Lock()
         self._seq = itertools.count(1)
@@ -84,6 +106,7 @@ class CampaignWorker:
         self._thread: Optional[threading.Thread] = None
         self._queue: Optional[asyncio.Queue] = None
         self._ready = threading.Event()
+        self._killed = False
 
     # -- lifecycle -------------------------------------------------------------
     def start(self) -> None:
@@ -105,7 +128,10 @@ class CampaignWorker:
         """
         if self._loop is None or self._thread is None:
             return True
-        self._loop.call_soon_threadsafe(self._queue.put_nowait, None)
+        try:
+            self._loop.call_soon_threadsafe(self._queue.put_nowait, None)
+        except RuntimeError:
+            pass  # loop already closed (e.g. after kill())
         self._thread.join(timeout)
         if self._thread.is_alive():
             return False
@@ -113,6 +139,20 @@ class CampaignWorker:
         self._loop = None
         self._ready.clear()
         return True
+
+    def kill(self) -> None:
+        """Simulate a crash: stop picking up work, abandon the loop thread.
+
+        Unlike :meth:`stop` this does not drain — queued campaigns are never
+        started, which is what lets tests kill a cluster instance
+        "mid-campaign" and watch the coordinator re-assign its shards.
+        """
+        self._killed = True
+        if self._loop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._queue.put_nowait, None)
+            except RuntimeError:  # pragma: no cover — loop already closed
+                pass
 
     def _run_loop(self) -> None:
         loop = asyncio.new_event_loop()
@@ -130,60 +170,76 @@ class CampaignWorker:
         tasks: set = set()
         while True:
             record = await self._queue.get()
-            if record is None:
+            if record is None or self._killed:
                 break
             task = asyncio.create_task(self._run_one(record, semaphore))
             tasks.add(task)
             task.add_done_callback(tasks.discard)
-        if tasks:
+        if tasks and not self._killed:
             await asyncio.gather(*tasks, return_exceptions=True)
 
     async def _run_one(self, record: CampaignRecord, semaphore: asyncio.Semaphore) -> None:
         async with semaphore:
             with self._lock:
+                if self._killed:
+                    return
                 record.state = "running"
+                spec, plan, seq = record.spec, record.plan, record.runs
             loop = asyncio.get_running_loop()
             try:
                 # The scheduler blocks (NumPy, SQLite, mp pool), so it runs on
                 # an executor thread; the loop stays free to start overlapping
                 # campaigns and to answer nothing — HTTP threads never enter it.
-                outcome = await loop.run_in_executor(None, self._execute, record.spec)
+                outcome = await loop.run_in_executor(None, self._execute, record, spec, plan)
             except Exception as error:  # noqa: BLE001 — surfaced via status
                 with self._lock:
-                    record.state = "failed"
-                    record.error = f"{type(error).__name__}: {error}"
+                    if record.runs == seq:
+                        record.state = "failed"
+                        record.error = f"{type(error).__name__}: {error}"
                 return
             with self._lock:
-                record.outcome = outcome
-                record.error = None
-                record.state = "done" if outcome.ok else "failed"
+                # A re-submission may have superseded this run (record.runs
+                # moved on) — its own task will write the terminal state.
+                if record.runs == seq:
+                    record.outcome = outcome
+                    record.error = None
+                    record.state = "done" if outcome.ok else "failed"
 
-    def _scheduler(self, spec: CampaignSpec) -> CampaignScheduler:
-        """One scheduler per use, always under this worker's shard settings —
-        execution, progress counts and export key sets must agree on which
-        slice of the campaign this instance owns."""
+    def _scheduler(
+        self, spec: CampaignSpec, plan: Optional[ShardPlan] = None
+    ) -> CampaignScheduler:
+        """One scheduler per use, always under one shard plan — execution,
+        progress counts and export key sets must agree on which slice of the
+        campaign this instance owns."""
         return CampaignScheduler(
             spec,
             self.store,
             workers=self.settings.workers,
             timeout=self.settings.timeout,
             retries=self.settings.retries,
-            shards=self.settings.shards,
-            shard_index=self.settings.shard_index,
+            plan=plan if plan is not None else self._default_plan,
         )
 
-    def _execute(self, spec: CampaignSpec) -> CampaignOutcome:
+    def _execute(
+        self, record: CampaignRecord, spec: CampaignSpec, plan: Optional[ShardPlan]
+    ) -> CampaignOutcome:
         # Runs on an executor thread: the shared store hands this thread its
-        # own SQLite connection (one writer per connection).
-        return self._scheduler(spec).run()
+        # own SQLite connection (one writer per connection).  The record lock
+        # serialises overlapping runs of one campaign (plan re-assignment).
+        with record.run_lock:
+            return self._scheduler(spec, plan).run()
 
     # -- submission / inspection ----------------------------------------------
-    def submit(self, spec: CampaignSpec) -> CampaignRecord:
-        """Enqueue a campaign; idempotent while an equal spec is in flight.
+    def submit(
+        self, spec: CampaignSpec, plan: Optional[ShardPlan] = None
+    ) -> CampaignRecord:
+        """Enqueue a campaign; idempotent while an equal (spec, plan) is in flight.
 
         A finished (done/failed) campaign re-enqueues: the scheduler dedupes
         against the store, so a warm re-submission costs one plan pass and
-        reports ``cache_hit_rate == 1.0``.
+        reports ``cache_hit_rate == 1.0``.  Re-submitting an in-flight
+        campaign under a *different* shard plan re-enqueues it too — that is
+        how the coordinator hands this instance the shards of a dead peer.
         """
         if self._loop is None:
             raise RuntimeError("campaign worker is not running")
@@ -191,11 +247,14 @@ class CampaignWorker:
         with self._lock:
             record = self._records.get(cid)
             if record is None:
-                record = CampaignRecord(id=cid, spec=spec, submitted_seq=next(self._seq))
+                record = CampaignRecord(
+                    id=cid, spec=spec, plan=plan, submitted_seq=next(self._seq)
+                )
                 self._records[cid] = record
-            elif record.state in ("queued", "running"):
+            elif record.state in ("queued", "running") and record.plan == plan:
                 return record
             else:
+                record.plan = plan
                 record.state = "queued"
             record.runs += 1
         self._loop.call_soon_threadsafe(self._queue.put_nowait, record)
@@ -217,8 +276,8 @@ class CampaignWorker:
             return None
         with self._lock:
             payload = record.summary()
-            spec = record.spec
-        payload["jobs"] = self._scheduler(spec).progress_counts()
+            spec, plan = record.spec, record.plan
+        payload["jobs"] = self._scheduler(spec, plan).progress_counts()
         payload["spec"] = spec.to_json()
         return payload
 
@@ -228,4 +287,4 @@ class CampaignWorker:
         record = self.get(cid)
         if record is None:
             return None
-        return self._scheduler(record.spec).job_keys()
+        return self._scheduler(record.spec, record.plan).job_keys()
