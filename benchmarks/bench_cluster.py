@@ -38,9 +38,13 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.campaign import CampaignScheduler, CampaignSpec, ResultStore  # noqa: E402
-from repro.cluster import ClusterClient, LocalCluster  # noqa: E402
+from repro.cluster import ClusterClient, FaultPlan, LocalCluster, kill_instance  # noqa: E402
+from repro.cluster.faults import ChaosTally  # noqa: E402
 
 INSTANCE_COUNTS = (1, 2, 4)
+
+#: The chaos run's fault schedule — fixed seed, reproducible.
+CHAOS_FAULTS = FaultPlan(drop=0.1, duplicate=0.05, seed=20)
 
 
 def campaign_spec(quick: bool) -> CampaignSpec:
@@ -148,6 +152,65 @@ def bench_instances(spec: CampaignSpec, instances: int, workdir: Path) -> dict:
     }
 
 
+def bench_chaos(spec: CampaignSpec, workdir: Path, reference: bytes) -> dict:
+    """One chaos run: wire workers + injected faults + coordinator kill.
+
+    Coordinator and a lease standby over one store; 2 wire workers with no
+    filesystem store access, 10% drops and 5% duplicates injected into
+    every worker request.  Mid-campaign the lease holder is crash-stopped;
+    the run records how long the survivor took to seize the lease and to
+    finish the campaign, and whether the export stayed byte-identical.
+    """
+    client = ClusterClient()
+    tally = ChaosTally()
+    with LocalCluster(
+        store=workdir / "chaos.sqlite",
+        instances=2,
+        standbys=1,
+        wire_workers=True,
+        faults=CHAOS_FAULTS,
+        workdir=workdir,
+    ) as cluster:
+        coordinators = {
+            server.app.cluster.instance_id: server
+            for server in (cluster.coordinator, cluster.standbys[0])
+        }
+        submitted = client.submit(cluster.url, spec)
+        holder_id = cluster.store.get_lease("coordinator")["holder"]
+        survivor_id = next(iid for iid in coordinators if iid != holder_id)
+        survivor = coordinators[survivor_id]
+        time.sleep(0.3)  # let the campaign get underway before the crash
+        kill_instance(coordinators[holder_id])
+        tally.kill_at = time.monotonic()
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            lease = cluster.store.get_lease("coordinator")
+            if lease is not None and lease["holder"] == survivor_id:
+                tally.lease_seized_at = time.monotonic()
+                break
+            time.sleep(0.02)
+        if tally.lease_seized_at is None:
+            raise RuntimeError("survivor never seized the coordinator lease")
+        status = wait_done(client, survivor.url, submitted["id"])
+        tally.completed_at = time.monotonic()
+        if status["state"] != "done":
+            raise RuntimeError(f"chaos campaign failed: {status}")
+        for worker in cluster.workers:
+            for fault, count in worker.app.store.client.injected_counts().items():
+                tally.injected[fault] = tally.injected.get(fault, 0) + count
+        export = client.export(survivor.url, submitted["id"])
+    return {
+        "faults": {
+            "drop": CHAOS_FAULTS.drop,
+            "duplicate": CHAOS_FAULTS.duplicate,
+            "seed": CHAOS_FAULTS.seed,
+        },
+        "jobs": status["jobs"]["total"],
+        "identical_export": export == reference,
+        **tally.as_row(),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="small CI-sized workload")
@@ -155,6 +218,12 @@ def main(argv=None) -> int:
         "--check",
         action="store_true",
         help="exit non-zero if exports diverge or warm re-submits miss the cache",
+    )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="add a wire-worker run with injected faults and a coordinator "
+        "kill; records recovery timings and the identical-export gate",
     )
     parser.add_argument(
         "--output",
@@ -192,9 +261,18 @@ def main(argv=None) -> int:
             f"identical={run['identical_export']}, warm_ok={run['warm_ok']}"
         )
 
+    chaos = None
+    if args.chaos:
+        chaos = bench_chaos(spec, workdir, reference)
+        print(
+            f"chaos: lease seized in {chaos.get('lease_seizure_s', '?')}s, "
+            f"done {chaos.get('recovery_to_done_s', '?')}s after the kill, "
+            f"injected={chaos['injected']}, identical={chaos['identical_export']}"
+        )
+
     identical = all(run["identical_export"] for run in runs)
     warm = all(run["warm_ok"] for run in runs)
-    met = identical and warm
+    met = identical and warm and (chaos is None or chaos["identical_export"])
 
     report = {
         "schema": "bench_cluster/v1",
@@ -216,6 +294,8 @@ def main(argv=None) -> int:
             "met": met,
         },
     }
+    if chaos is not None:
+        report["chaos"] = chaos
     output = Path(args.output)
     output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {output}")

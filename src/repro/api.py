@@ -400,6 +400,8 @@ def serve(
     quiet: bool = True,
     cluster: Optional["ClusterConfig"] = None,
     advertise_host: Optional[str] = None,
+    coordinator_url: Optional[str] = None,
+    journal: Optional[Union[str, Path]] = None,
 ) -> "CampaignServer":
     """Serve the campaign layer over HTTP (the ``an5d serve`` entry point).
 
@@ -419,9 +421,19 @@ def serve(
     store's instance registry and accepts coordinator shard assignments; in
     the coordinator role it also accepts whole campaigns on
     ``POST /cluster/campaigns`` and supervises shard re-assignment.
+
+    ``coordinator_url`` makes the instance **wire-native**: instead of
+    opening the store it commits results to that coordinator over HTTP
+    (``POST /results/commit``), spilling to the local ``journal`` file
+    whenever the coordinator is unreachable and draining it on reconnect.
+    Requires a worker-role ``cluster`` config; ``store`` is ignored.
     """
     from repro.service import CampaignServer, WorkerSettings
 
+    if coordinator_url is not None:
+        from repro.cluster.remote import RemoteStore
+
+        store = RemoteStore(coordinator_url, journal=journal)
     server = CampaignServer(
         host=host,
         port=port,
@@ -451,6 +463,9 @@ def cluster_up(
     concurrency: int = 2,
     timeout: Optional[float] = None,
     retries: int = 1,
+    standbys: int = 0,
+    wire_workers: bool = False,
+    workdir: Optional[Union[str, Path]] = None,
 ) -> "LocalCluster":
     """Boot N worker instances plus a coordinator on one store, in-process.
 
@@ -460,10 +475,18 @@ def cluster_up(
     ephemeral port, so the topology matches a multi-process deployment —
     minus the process isolation (this is the ``an5d cluster up`` fast path;
     CI's cluster smoke boots separate processes).
+
+    ``standbys`` adds lease-contending coordinator instances (failover);
+    ``wire_workers=True`` gives workers no store access at all — they commit
+    over HTTP with journals under ``workdir`` (defaults to the store's
+    directory).
     """
     from repro.cluster import LocalCluster
     from repro.service import WorkerSettings
 
+    if wire_workers and workdir is None:
+        store_path = store if not hasattr(store, "path") else store.path
+        workdir = Path(str(store_path)).parent if str(store_path) != ":memory:" else Path(".")
     return LocalCluster(
         store=store,
         instances=instances,
@@ -471,6 +494,9 @@ def cluster_up(
         settings=WorkerSettings(
             workers=workers, concurrency=concurrency, timeout=timeout, retries=retries
         ),
+        standbys=standbys,
+        wire_workers=wire_workers,
+        workdir=workdir,
     ).start()
 
 

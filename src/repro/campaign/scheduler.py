@@ -246,11 +246,18 @@ class CampaignScheduler:
         return [job for job in expanded if self.shard_plan.owns(job)]
 
     def plan(self) -> Tuple[List[JobSpec], List[JobSpec]]:
-        """Split this shard's jobs into (already answered, still pending)."""
+        """Split this shard's jobs into (already answered, still pending).
+
+        One bulk ``statuses`` lookup, not a ``has_ok`` per job: against a
+        wire-native store every lookup is an HTTP round-trip, so planning a
+        thousand-job campaign must not cost a thousand requests.
+        """
+        jobs = self.jobs()
+        statuses = self.store.statuses([job.key() for job in jobs])
         cached: List[JobSpec] = []
         pending: List[JobSpec] = []
-        for job in self.jobs():
-            (cached if self.store.has_ok(job) else pending).append(job)
+        for job in jobs:
+            (cached if statuses.get(job.key()) == "ok" else pending).append(job)
         return cached, pending
 
     def job_keys(self) -> List[str]:

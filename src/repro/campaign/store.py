@@ -39,10 +39,11 @@ from repro.campaign.jobs import JobSpec
 from repro.reporting import ResultTable
 
 #: Bump when the stored payload layout changes incompatibly.  Version 2 adds
-#: the cluster tables (instances / submissions / assignments); they are
-#: created with ``IF NOT EXISTS``, so a version-1 store upgrades in place the
-#: first time a version-2 process opens it.
-SCHEMA_VERSION = 2
+#: the cluster tables (instances / submissions / assignments); version 3 adds
+#: the ``leases`` table (coordinator failover).  All cluster tables are
+#: created with ``IF NOT EXISTS``, so an older store upgrades in place the
+#: first time a newer process opens it.
+SCHEMA_VERSION = 3
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS results (
@@ -85,7 +86,29 @@ CREATE TABLE IF NOT EXISTS assignments (
     updated_at    REAL NOT NULL,
     PRIMARY KEY (submission_id, shard_index)
 );
+CREATE TABLE IF NOT EXISTS leases (
+    name        TEXT PRIMARY KEY,
+    holder      TEXT NOT NULL,
+    acquired_at REAL NOT NULL,
+    expires_at  REAL NOT NULL
+);
 """
+
+#: Fields every wire-committed result record must carry (the row, minus the
+#: receiver-stamped ``created_at``).
+RECORD_FIELDS = (
+    "key",
+    "kind",
+    "pattern",
+    "gpu",
+    "dtype",
+    "grid",
+    "time_steps",
+    "code_version",
+    "status",
+    "payload",
+    "elapsed_s",
+)
 
 #: Stable export column order shared by every store export.
 EXPORT_COLUMNS = (
@@ -135,6 +158,38 @@ class StoredResult:
             "status": self.status,
             "payload": self.payload,
         }
+
+
+def make_record(
+    spec: JobSpec,
+    payload: Dict[str, object],
+    status: str = "ok",
+    elapsed_s: float = 0.0,
+    code_version: Optional[str] = None,
+) -> Dict[str, object]:
+    """One wire-committable result record for a finished job.
+
+    This is the *only* way a result row is derived from a job — the local
+    :meth:`ResultStore.put` path and the wire-native commit path
+    (:class:`repro.cluster.remote.RemoteStore`) both go through it, so a
+    result committed over HTTP is field-for-field what a local commit would
+    have written.  The record carries no timestamps: ``created_at`` is
+    stamped by whichever store receives it.
+    """
+    version = code_version if code_version is not None else repro.__version__
+    return {
+        "key": spec.key(version),
+        "kind": spec.kind,
+        "pattern": spec.pattern,
+        "gpu": spec.gpu,
+        "dtype": spec.dtype,
+        "grid": "x".join(str(v) for v in spec.interior),
+        "time_steps": spec.time_steps,
+        "code_version": version,
+        "status": status,
+        "payload": payload,
+        "elapsed_s": float(elapsed_s),
+    }
 
 
 class ResultStore:
@@ -245,31 +300,84 @@ class ResultStore:
         status: str = "ok",
         elapsed_s: float = 0.0,
         code_version: Optional[str] = None,
+        now: Optional[float] = None,
     ) -> str:
-        """Commit one result immediately (incremental commit = resumability)."""
-        version = code_version if code_version is not None else repro.__version__
-        key = spec.key(version)
+        """Commit one result immediately (incremental commit = resumability).
+
+        ``now`` overrides the ``created_at`` stamp (injectable so chaos tests
+        and deterministic replays never read the wall clock).
+        """
+        record = make_record(spec, payload, status, elapsed_s, code_version)
+        timestamp = time.time() if now is None else float(now)
         self._commit(
             "INSERT OR REPLACE INTO results "
             "(key, kind, pattern, gpu, dtype, grid, time_steps, code_version, "
             " status, payload, elapsed_s, created_at) "
             "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
             (
-                key,
-                spec.kind,
-                spec.pattern,
-                spec.gpu,
-                spec.dtype,
-                "x".join(str(v) for v in spec.interior),
-                spec.time_steps,
-                version,
-                status,
-                json.dumps(payload, sort_keys=True, separators=(",", ":")),
-                float(elapsed_s),
-                time.time(),
+                record["key"],
+                record["kind"],
+                record["pattern"],
+                record["gpu"],
+                record["dtype"],
+                record["grid"],
+                record["time_steps"],
+                record["code_version"],
+                record["status"],
+                json.dumps(record["payload"], sort_keys=True, separators=(",", ":")),
+                record["elapsed_s"],
+                timestamp,
             ),
         )
-        return key
+        return str(record["key"])
+
+    def commit_records(
+        self, records: Sequence[Dict[str, object]], now: Optional[float] = None
+    ) -> int:
+        """Commit wire-native result records; idempotent by construction.
+
+        This is the receiving half of ``POST /results/commit``: keys are
+        content addresses, so replaying a batch (worker retries, duplicated
+        requests, two workers racing on a re-assigned shard) can never create
+        a second row or change an existing ``ok`` row — an existing row is
+        only overwritten while it is *not* ``ok`` (a failed attempt upgraded
+        by a successful retry).  Returns how many rows were actually written.
+        """
+        timestamp = time.time() if now is None else float(now)
+        committed = 0
+        for record in records:
+            missing = [field for field in RECORD_FIELDS if field not in record]
+            if missing:
+                raise ValueError(
+                    f"result record is missing field(s): {', '.join(missing)}"
+                )
+            cursor = self._commit(
+                "INSERT INTO results "
+                "(key, kind, pattern, gpu, dtype, grid, time_steps, code_version, "
+                " status, payload, elapsed_s, created_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?) "
+                "ON CONFLICT(key) DO UPDATE SET "
+                "status = excluded.status, payload = excluded.payload, "
+                "elapsed_s = excluded.elapsed_s, code_version = excluded.code_version, "
+                "created_at = excluded.created_at "
+                "WHERE results.status != 'ok'",
+                (
+                    str(record["key"]),
+                    str(record["kind"]),
+                    str(record["pattern"]),
+                    str(record["gpu"]),
+                    str(record["dtype"]),
+                    str(record["grid"]),
+                    int(record["time_steps"]),  # type: ignore[arg-type]
+                    str(record["code_version"]),
+                    str(record["status"]),
+                    json.dumps(record["payload"], sort_keys=True, separators=(",", ":")),
+                    float(record["elapsed_s"]),  # type: ignore[arg-type]
+                    timestamp,
+                ),
+            )
+            committed += cursor.rowcount
+        return committed
 
     def delete(self, key: str) -> bool:
         return self._commit("DELETE FROM results WHERE key = ?", (key,)).rowcount > 0
@@ -591,6 +699,60 @@ class ResultStore:
             {"shard_index": row[0], "instance_id": row[1], "updated_at": row[2]}
             for row in rows
         ]
+
+    # -- cluster: leases ---------------------------------------------------------
+    # A lease is a named, time-bounded claim ("coordinator" is the only name
+    # used today).  Acquire/renew/seize is one atomic statement, so any
+    # store-native instance may race for an expired lease and exactly one
+    # wins; the loser simply stays in standby until the next attempt.
+
+    def acquire_lease(
+        self, name: str, holder: str, ttl: float, now: Optional[float] = None
+    ) -> bool:
+        """Acquire, renew or seize one named lease; True when ``holder`` holds it.
+
+        The current holder always renews; anyone else only succeeds once the
+        lease has expired (``expires_at <= now``) — which is exactly what a
+        crashed holder leaves behind once it stops renewing.
+        """
+        timestamp = time.time() if now is None else float(now)
+        expires = timestamp + float(ttl)
+        inserted = self._commit(
+            "INSERT OR IGNORE INTO leases (name, holder, acquired_at, expires_at) "
+            "VALUES (?, ?, ?, ?)",
+            (name, holder, timestamp, expires),
+        )
+        if inserted.rowcount > 0:
+            return True
+        updated = self._commit(
+            "UPDATE leases SET "
+            "acquired_at = CASE WHEN holder = ? THEN acquired_at ELSE ? END, "
+            "holder = ?, expires_at = ? "
+            "WHERE name = ? AND (holder = ? OR expires_at <= ?)",
+            (holder, timestamp, holder, expires, name, holder, timestamp),
+        )
+        return updated.rowcount > 0
+
+    def get_lease(self, name: str) -> Optional[Dict[str, object]]:
+        row = self._conn.execute(
+            "SELECT name, holder, acquired_at, expires_at FROM leases WHERE name = ?",
+            (name,),
+        ).fetchone()
+        if row is None:
+            return None
+        return {
+            "name": row[0],
+            "holder": row[1],
+            "acquired_at": row[2],
+            "expires_at": row[3],
+        }
+
+    def release_lease(self, name: str, holder: str) -> bool:
+        """Drop one lease, but only if ``holder`` still holds it."""
+        cursor = self._commit(
+            "DELETE FROM leases WHERE name = ? AND holder = ?", (name, holder)
+        )
+        return cursor.rowcount > 0
 
     # -- code-version maintenance ------------------------------------------------
     def code_versions(self) -> Dict[str, int]:

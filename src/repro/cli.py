@@ -44,6 +44,7 @@ missing files/stores).  Error text goes to stderr.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -478,13 +479,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import CampaignServer, WorkerSettings
 
     role = getattr(args, "role", "worker")
+    coordinator_url = getattr(args, "coordinator_url", None)
     cluster = None
-    if getattr(args, "cluster", False) or role != "worker":
-        cluster = _cluster_config(args, role)
+    if coordinator_url is not None:
+        # Wire-native worker: no filesystem access to the store — results
+        # commit to the coordinator over HTTP, journaled locally while it
+        # is unreachable.  Implies cluster membership in the worker role.
+        if role != "worker":
+            print(
+                "error: --coordinator-url is a worker-only mode "
+                "(coordinators need direct store access)",
+                file=sys.stderr,
+            )
+            return 2
+        cluster = _cluster_config(args, "worker")
+        store = _wire_store(args, coordinator_url)
+    else:
+        if getattr(args, "cluster", False) or role != "worker":
+            cluster = _cluster_config(args, role)
+        store = args.store
     server = CampaignServer(
         host=args.host,
         port=args.port,
-        store=args.store,
+        store=store,
         settings=WorkerSettings(
             workers=args.workers,
             concurrency=args.concurrency,
@@ -495,7 +512,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cluster=cluster,
         advertise_host=getattr(args, "advertise_host", None),
     )
-    print(f"an5d campaign service on {server.url} (store: {args.store})")
+    shown_store = server.app.store.path if coordinator_url is not None else args.store
+    print(f"an5d campaign service on {server.url} (store: {shown_store})")
     if cluster is not None:
         print(f"cluster member {cluster.instance_id} (role: {cluster.role})")
     print("endpoints: POST /campaigns  GET /campaigns/{id}[/report|/export]  GET /healthz")
@@ -507,6 +525,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.stop()
     return 0
+
+
+def _wire_store(args: argparse.Namespace, coordinator_url: str):
+    """Build the wire-native store an ``an5d serve --coordinator-url`` uses."""
+    from repro.cluster.remote import RemoteStore
+
+    journal = getattr(args, "journal", None)
+    if journal is None:
+        journal = f"an5d-worker-{os.getpid()}.journal.jsonl"
+    return RemoteStore(
+        coordinator_url,
+        journal=journal,
+        flush_interval=getattr(args, "flush_interval", 0.2),
+        backoff_cap_s=getattr(args, "backoff_cap", 2.0),
+    )
 
 
 def _add_cluster_serve_arguments(parser: argparse.ArgumentParser) -> None:
@@ -553,6 +586,24 @@ def _add_serve_parser(sub: argparse._SubParsersAction) -> None:
         "--role", choices=("worker", "coordinator", "both"), default="worker",
         help="cluster role (a non-worker role implies --cluster)",
     )
+    serve_parser.add_argument(
+        "--coordinator-url", default=None,
+        help="wire-native worker: commit results to this coordinator over "
+        "HTTP instead of opening --store (implies --cluster, worker role)",
+    )
+    serve_parser.add_argument(
+        "--journal", default=None,
+        help="wire-native spill journal path (default: an5d-worker-<pid>."
+        "journal.jsonl); drained on reconnect, replayed after a crash",
+    )
+    serve_parser.add_argument(
+        "--flush-interval", type=float, default=0.2,
+        help="seconds between wire-commit journal flushes",
+    )
+    serve_parser.add_argument(
+        "--backoff-cap", type=float, default=2.0,
+        help="max seconds between flush retries while the coordinator is down",
+    )
     _add_cluster_serve_arguments(serve_parser)
     serve_parser.add_argument("--verbose", "-v", action="store_true", help="log requests")
     serve_parser.set_defaults(func=_cmd_serve)
@@ -572,11 +623,17 @@ def _cmd_cluster_up(args: argparse.Namespace) -> int:
         concurrency=args.concurrency,
         timeout=args.timeout,
         retries=args.retries,
+        standbys=args.standbys,
+        wire_workers=args.wire_workers,
+        workdir=args.workdir,
     )
     try:
         print(f"an5d cluster on {cluster.url} (store: {args.store})")
+        for standby in cluster.standbys:
+            print(f"  standby {standby.app.cluster.instance_id} on {standby.url}")
         for worker in cluster.workers:
-            print(f"  worker {worker.app.cluster.instance_id} on {worker.url}")
+            kind = "wire worker" if args.wire_workers else "worker"
+            print(f"  {kind} {worker.app.cluster.instance_id} on {worker.url}")
         print(
             f"submit: an5d cluster submit --url {cluster.url} ...   "
             f"status: an5d cluster status --url {cluster.url}"
@@ -701,6 +758,19 @@ def _add_cluster_parsers(sub: argparse._SubParsersAction) -> None:
     up_parser.add_argument("--concurrency", type=int, default=2)
     up_parser.add_argument("--timeout", type=float, default=None)
     up_parser.add_argument("--retries", type=int, default=1)
+    up_parser.add_argument(
+        "--standbys", type=int, default=0,
+        help="extra coordinator instances contending on the failover lease",
+    )
+    up_parser.add_argument(
+        "--wire-workers", action="store_true",
+        help="workers get no store access: they commit results over HTTP "
+        "with a local journal (the fault-tolerant topology)",
+    )
+    up_parser.add_argument(
+        "--workdir", default=None,
+        help="directory for wire-worker journals (default: the store's)",
+    )
     up_parser.set_defaults(func=_cmd_cluster_up)
 
     coordinator_parser = cluster_sub.add_parser(

@@ -16,9 +16,19 @@ processes into one campaign service:
     with retry, re-assigns the shards of lapsed instances, and aggregates
     per-instance progress.
 ``client``
-    The stdlib HTTP client used for all instance-to-instance traffic.
+    The stdlib HTTP client used for all instance-to-instance traffic, plus
+    the shared retryable-vs-terminal error taxonomy every retry loop obeys.
+``remote``
+    Wire-native membership: :class:`RemoteStore` (results committed over
+    ``POST /results/commit``, journaled locally while the coordinator is
+    unreachable) and :class:`RemoteRegistry` (register/heartbeat over HTTP,
+    receiver-stamped clocks) — workers with no filesystem store access.
+``faults``
+    Deterministic fault injection (drop/delay/duplicate/5xx, seeded) and
+    crash-stop helpers powering the chaos test suite.
 ``local``
-    :class:`LocalCluster`: N workers + a coordinator booted in one process
+    :class:`LocalCluster`: N workers + a coordinator (+ optional lease
+    standbys, wire workers and fault injection) booted in one process
     (the ``an5d cluster up`` topology).
 
 Quick use::
@@ -32,8 +42,16 @@ Quick use::
         ...  # poll client.submission_status(cluster.url, submitted["id"])
 """
 
-from repro.cluster.client import ClusterClient, ClusterError, ClusterHTTPError
+from repro.cluster.client import (
+    ClusterClient,
+    ClusterError,
+    ClusterHTTPError,
+    RETRYABLE_STATUSES,
+    backoff_delay,
+    is_retryable,
+)
 from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.faults import FaultPlan, FaultyClusterClient, kill_instance
 from repro.cluster.local import LocalCluster
 from repro.cluster.registry import (
     ClusterConfig,
@@ -41,6 +59,7 @@ from repro.cluster.registry import (
     InstanceRegistry,
     generate_instance_id,
 )
+from repro.cluster.remote import RemoteRegistry, RemoteStore
 
 __all__ = [
     "ClusterClient",
@@ -48,8 +67,16 @@ __all__ = [
     "ClusterCoordinator",
     "ClusterError",
     "ClusterHTTPError",
+    "FaultPlan",
+    "FaultyClusterClient",
     "Instance",
     "InstanceRegistry",
     "LocalCluster",
+    "RETRYABLE_STATUSES",
+    "RemoteRegistry",
+    "RemoteStore",
+    "backoff_delay",
     "generate_instance_id",
+    "is_retryable",
+    "kill_instance",
 ]

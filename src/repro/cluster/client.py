@@ -1,26 +1,49 @@
 """Stdlib HTTP client for instance-to-instance cluster traffic.
 
-Everything the coordinator sends a worker — and everything the CLI sends a
-coordinator — goes through :class:`ClusterClient`: urllib with a small
-bounded retry loop (transient connection errors back off and retry; HTTP
-error responses do *not* retry, they carry the peer's structured wire error
-back to the caller as :class:`ClusterHTTPError`).
+Everything the coordinator sends a worker — and everything a wire-native
+worker or the CLI sends a coordinator — goes through :class:`ClusterClient`:
+urllib with a bounded retry loop driven by one shared **error taxonomy**:
+
+*retryable*
+    The request may succeed if repeated: the peer was unreachable
+    (connection refused/reset, DNS, timeout) or answered with a transient
+    HTTP status (5xx, 408 request timeout, 425 too early, 429 too many
+    requests).  These back off (capped exponential + jitter) and retry.
+*terminal*
+    Repeating the identical request cannot help: the peer answered with a
+    definitive rejection (400 bad spec, 404 no such route, 409 wrong role).
+    These surface immediately as :class:`ClusterHTTPError`.
+
+The same taxonomy (via :func:`is_retryable`) drives the wire-native worker's
+journal flush loop and the coordinator's fan-out, so every layer agrees on
+what is worth retrying.  Retrying is safe everywhere it is used because
+every mutating cluster verb is idempotent by construction — result commits
+and shard assignments are keyed by content address.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.campaign.jobs import CampaignSpec
 from repro.campaign.scheduler import ShardPlan
 
+#: HTTP statuses worth retrying: the server-side fault classes (5xx) plus
+#: the three 4xx statuses that describe transient conditions, not requests.
+RETRYABLE_STATUSES = frozenset({408, 425, 429, 500, 502, 503, 504})
+
+#: Default backoff shape for retry loops (seconds).
+BACKOFF_BASE_S = 0.05
+BACKOFF_CAP_S = 2.0
+
 
 class ClusterError(Exception):
-    """A peer could not be reached (after retries)."""
+    """A peer could not be reached (after retries). Always retryable."""
 
 
 class ClusterHTTPError(ClusterError):
@@ -32,46 +55,104 @@ class ClusterHTTPError(ClusterError):
         self.status = status
         self.payload = payload
 
+    @property
+    def retryable(self) -> bool:
+        """Whether repeating the identical request could succeed."""
+        return self.status in RETRYABLE_STATUSES
+
+
+def is_retryable(error: BaseException) -> bool:
+    """The shared retry decision: transient fault vs. definitive rejection."""
+    if isinstance(error, ClusterHTTPError):
+        return error.retryable
+    if isinstance(error, ClusterError):
+        return True  # unreachable peer: connection-level, always transient
+    return False
+
+
+def backoff_delay(
+    attempt: int,
+    base_s: float = BACKOFF_BASE_S,
+    cap_s: float = BACKOFF_CAP_S,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """Capped exponential backoff with full jitter for retry ``attempt``.
+
+    Attempt 0 waits up to ``base_s``, each further attempt doubles the
+    ceiling up to ``cap_s``; the actual delay is uniform in (0, ceiling]
+    so N workers retrying a recovered coordinator do not stampede in
+    lockstep.  Pass a seeded ``rng`` for deterministic tests.
+    """
+    ceiling = min(float(cap_s), float(base_s) * (2 ** max(0, int(attempt))))
+    fraction = (rng or random).random()
+    return ceiling * max(fraction, 0.1)
+
 
 class ClusterClient:
-    """Small JSON-over-HTTP client with bounded retry on connection errors."""
+    """Small JSON-over-HTTP client retrying the retryable error class."""
 
-    def __init__(self, timeout: float = 10.0, retries: int = 2, backoff_s: float = 0.05) -> None:
+    def __init__(
+        self,
+        timeout: float = 10.0,
+        retries: int = 2,
+        backoff_s: float = BACKOFF_BASE_S,
+        backoff_cap_s: float = BACKOFF_CAP_S,
+        rng: Optional[random.Random] = None,
+    ) -> None:
         self.timeout = float(timeout)
         self.retries = max(0, int(retries))
         self.backoff_s = float(backoff_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self._rng = rng or random.Random()
 
     # -- plumbing --------------------------------------------------------------
+    def _sleep(self, attempt: int) -> None:
+        time.sleep(
+            backoff_delay(attempt, self.backoff_s, self.backoff_cap_s, self._rng)
+        )
+
     def request(
         self,
         url: str,
         method: str = "GET",
         payload: Optional[object] = None,
+        data: Optional[bytes] = None,
+        content_type: Optional[str] = None,
     ) -> Tuple[int, bytes]:
-        """One request with retry-on-unreachable; returns (status, body)."""
-        data = (
-            json.dumps(payload, sort_keys=True).encode("utf-8")
-            if payload is not None
-            else None
-        )
+        """One request, retrying the retryable error class; (status, body).
+
+        ``payload`` is JSON-encoded; ``data`` sends a raw body (the JSONL
+        result-commit path).  Retrying mutating requests is safe because
+        every cluster verb is idempotent (content-addressed keys).
+        """
+        if data is None and payload is not None:
+            data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        headers = {"Content-Type": content_type} if content_type else {}
         last_error: Optional[Exception] = None
         for attempt in range(self.retries + 1):
-            request = urllib.request.Request(url, method=method, data=data)
+            request = urllib.request.Request(
+                url, method=method, data=data, headers=headers
+            )
             try:
                 with urllib.request.urlopen(request, timeout=self.timeout) as response:
                     return response.status, response.read()
             except urllib.error.HTTPError as error:
-                # The peer answered: its wire error is the answer, not a
-                # transient fault — surface it without retrying.
                 try:
                     body = json.loads(error.read().decode("utf-8"))
                 except Exception:  # noqa: BLE001 — non-JSON error body
                     body = {"error": str(error)}
-                raise ClusterHTTPError(error.code, body) from None
+                http_error = ClusterHTTPError(error.code, body)
+                if not http_error.retryable:
+                    # A terminal rejection is the peer's *answer*, not a
+                    # fault — surface it without retrying.
+                    raise http_error from None
+                last_error = http_error
             except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as error:
                 last_error = error
-                if attempt < self.retries:
-                    time.sleep(self.backoff_s * (attempt + 1))
+            if attempt < self.retries:
+                self._sleep(attempt)
+        if isinstance(last_error, ClusterHTTPError):
+            raise last_error from None
         raise ClusterError(f"unreachable peer {url}: {last_error}") from None
 
     def get_json(self, url: str) -> Dict[str, object]:
@@ -109,3 +190,104 @@ class ClusterClient:
     def export(self, base_url: str, sid: str) -> bytes:
         _, body = self.request(f"{base_url}/cluster/campaigns/{sid}/export")
         return body
+
+    # -- wire-native result path ----------------------------------------------
+    def commit_results(
+        self, base_url: str, records: Sequence[Dict[str, object]]
+    ) -> Dict[str, object]:
+        """Commit a batch of result records (JSONL body); idempotent."""
+        body = "".join(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+            for record in records
+        ).encode("utf-8")
+        _, answer = self.request(
+            base_url + "/results/commit",
+            method="POST",
+            data=body,
+            content_type="application/jsonl",
+        )
+        return json.loads(answer)
+
+    def result_statuses(
+        self, base_url: str, keys: Sequence[str]
+    ) -> Dict[str, str]:
+        """Status by key for the subset of ``keys`` the peer's store holds."""
+        answer = self.post_json(base_url + "/results/statuses", {"keys": list(keys)})
+        return dict(answer.get("statuses", {}))  # type: ignore[arg-type]
+
+    # -- wire-native membership ------------------------------------------------
+    def register(
+        self,
+        base_url: str,
+        instance_id: str,
+        host: str,
+        port: int,
+        role: str = "worker",
+        capabilities: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        """Register a (wire) member with a store-native peer.
+
+        The envelope carries **no timestamps**: the receiver stamps the
+        heartbeat with its own clock, so a worker with a wrong wall clock
+        is indistinguishable from one with a right one.
+        """
+        return self.post_json(
+            base_url + "/cluster/register",
+            {
+                "instance_id": instance_id,
+                "host": host,
+                "port": int(port),
+                "role": role,
+                "capabilities": capabilities or {},
+            },
+        )
+
+    def heartbeat(self, base_url: str, instance_id: str) -> Dict[str, object]:
+        return self.post_json(
+            base_url + "/cluster/heartbeat", {"instance_id": instance_id}
+        )
+
+    def deregister(self, base_url: str, instance_id: str) -> Dict[str, object]:
+        return self.post_json(
+            base_url + "/cluster/deregister", {"instance_id": instance_id}
+        )
+
+
+def post_any(
+    client: ClusterClient,
+    urls: Sequence[str],
+    send,  # Callable[[str], Dict[str, object]]
+) -> Tuple[str, Dict[str, object]]:
+    """Try ``send(url)`` against each candidate URL until one answers.
+
+    This is how a wire-native worker re-resolves the coordinator: commit to
+    the last known URL first, and on a retryable failure rotate through the
+    other live store-native peers learned from heartbeat responses.  Returns
+    ``(url, response)`` for the first success; raises the last error when
+    every candidate fails (terminal errors propagate immediately — a 400
+    would be a 400 everywhere).
+    """
+    last_error: Optional[Exception] = None
+    for url in urls:
+        try:
+            return url, send(url)
+        except ClusterError as error:
+            if not is_retryable(error):
+                raise
+            last_error = error
+    if last_error is None:
+        raise ClusterError("no candidate peers to send to")
+    raise last_error
+
+
+__all__ = [
+    "BACKOFF_BASE_S",
+    "BACKOFF_CAP_S",
+    "ClusterClient",
+    "ClusterError",
+    "ClusterHTTPError",
+    "RETRYABLE_STATUSES",
+    "backoff_delay",
+    "is_retryable",
+    "post_any",
+]

@@ -8,6 +8,18 @@ HTTP (``POST /campaigns/assigned``) with bounded retry.  Because every
 instance commits results straight into the shared store, the coordinator
 never relays data — it only plans, forwards and watches.
 
+Failover
+--------
+The coordinator itself is no longer a single point of failure: fan-out is
+gated on a **lease** (one row in the store's ``leases`` table) renewed on
+every monitor tick.  Any number of coordinator-capable instances may run —
+they all accept submissions into the queue, but only the lease holder
+dispatches.  When the holder dies its lease stops renewing and expires
+after ``lease_ttl``; the first standby whose tick runs after that seizes
+the lease with one atomic compare-and-swap and resumes fan-out from the
+``submissions``/``assignments`` tables, which hold the entire dispatch
+state.  Nothing is handed over — the store *is* the handover.
+
 Failure semantics
 -----------------
 Liveness is heartbeat age (:class:`~repro.cluster.registry.InstanceRegistry`).
@@ -41,7 +53,7 @@ from repro.campaign.jobs import CampaignSpec, shard_of_key
 from repro.campaign.scheduler import CampaignScheduler, ShardPlan
 from repro.campaign.store import ResultStore
 from repro.cluster.client import ClusterClient, ClusterError, ClusterHTTPError
-from repro.cluster.registry import InstanceRegistry
+from repro.cluster.registry import InstanceRegistry, generate_instance_id
 
 #: Submission lifecycle states recorded in the queue.
 SUBMISSION_STATES = ("queued", "dispatched", "done", "failed")
@@ -71,16 +83,29 @@ class ClusterCoordinator:
     FORWARD_TIMEOUT_S = 5.0
     FORWARD_RETRIES = 1
 
+    #: The one lease name coordinators contend on.
+    LEASE_NAME = "coordinator"
+
     def __init__(
         self,
         store: ResultStore,
         registry: InstanceRegistry,
         client: Optional[ClusterClient] = None,
+        instance_id: Optional[str] = None,
+        lease_ttl: Optional[float] = None,
     ) -> None:
         self.store = store
         self.registry = registry
         self.client = client or ClusterClient(
             timeout=self.FORWARD_TIMEOUT_S, retries=self.FORWARD_RETRIES
+        )
+        self.instance_id = instance_id or generate_instance_id("coord")
+        # The lease must outlive the gap between two monitor ticks (one tick
+        # per heartbeat interval renews it), and expire fast enough that a
+        # standby takes over within the same budget a dead *worker* gets —
+        # the liveness timeout is exactly that budget.
+        self.lease_ttl = (
+            float(lease_ttl) if lease_ttl is not None else registry.liveness_timeout
         )
         # tick() may be driven by a monitor thread *and* ad-hoc callers
         # (tests, CLI); planning for one submission must not interleave.
@@ -101,13 +126,37 @@ class ClusterCoordinator:
         with self._locks_guard:
             return self._locks.setdefault(sid, threading.Lock())
 
+    # -- lease -----------------------------------------------------------------
+    def holds_lease(self) -> bool:
+        """Acquire/renew/seize the coordinator lease; True when we hold it.
+
+        One atomic statement in the store (see
+        :meth:`~repro.campaign.store.ResultStore.acquire_lease`): the current
+        holder renews, anyone else succeeds only once the lease expired.
+        """
+        return self.store.acquire_lease(
+            self.LEASE_NAME, self.instance_id, self.lease_ttl,
+            now=self.registry.clock(),
+        )
+
+    def lease(self) -> Optional[Dict[str, object]]:
+        return self.store.get_lease(self.LEASE_NAME)
+
+    def release_lease(self) -> bool:
+        """Hand the lease back (graceful shutdown: no TTL wait for standbys)."""
+        return self.store.release_lease(self.LEASE_NAME, self.instance_id)
+
     # -- submissions -----------------------------------------------------------
     def submit(self, spec: CampaignSpec) -> Dict[str, object]:
-        """Queue one campaign, partition it over live workers and fan out.
+        """Queue one campaign and — when holding the lease — fan it out.
 
         Idempotent: an in-flight submission of the same spec is returned
         as-is; a finished one is re-opened (and served from the warm store
-        by every worker).
+        by every worker).  A standby (an instance that does not hold the
+        coordinator lease) still *accepts* the submission — it lands in the
+        store queue in state ``queued`` and the lease holder's next tick
+        dispatches it — so clients may submit to any coordinator-capable
+        instance.
         """
         sid = spec.short_id()
         with self._submission_lock(sid):
@@ -119,7 +168,8 @@ class ClusterCoordinator:
                 self.store.clear_assignments(sid)
                 self._settled_cache.pop(sid, None)
                 self._stall.pop(sid, None)
-                self._fan_out(sid)
+                if self.holds_lease():
+                    self._fan_out(sid)
         return self.submission_status(sid)
 
     def _load(self, sid: str) -> Tuple[Dict[str, object], CampaignSpec]:
@@ -262,7 +312,14 @@ class ClusterCoordinator:
 
     # -- supervision -----------------------------------------------------------
     def tick(self) -> Dict[str, object]:
-        """One supervision pass: settle finished work, re-home lapsed shards."""
+        """One supervision pass: settle finished work, re-home lapsed shards.
+
+        The pass is lease-gated: a standby's tick only *attempts* the lease
+        (which is how it eventually seizes an expired one) and otherwise
+        does nothing — two coordinators must never fan out concurrently.
+        """
+        if not self.holds_lease():
+            return {"settled": [], "redispatched": [], "standby": True}
         settled: List[str] = []
         redispatched: List[str] = []
         for row in self.store.submission_rows():
@@ -340,7 +397,14 @@ class ClusterCoordinator:
         settled = [row for row in rows if row["state"] in ("done", "failed")]
         keep = unsettled + settled[-max(0, settled_limit):]
         keep.sort(key=lambda row: (row["created_at"], row["id"]))
-        return {
+        payload: Dict[str, object] = {
             "instances": self.registry.summaries(),
             "submissions": [self._cached_submission_status(row) for row in keep],
         }
+        lease = self.lease()
+        if lease is not None:
+            payload["lease"] = {
+                **lease,
+                "held_by_me": lease["holder"] == self.instance_id,
+            }
+        return payload

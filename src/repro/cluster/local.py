@@ -26,7 +26,24 @@ LOCAL_LIVENESS_TIMEOUT = 2.0
 
 
 class LocalCluster:
-    """N cooperating ``an5d serve`` instances on one store, one process."""
+    """N cooperating ``an5d serve`` instances on one store, one process.
+
+    Two topologies:
+
+    * **store-native** (default): every instance opens the shared
+      :class:`~repro.campaign.store.ResultStore` directly — the PR-5 shape.
+    * **wire workers** (``wire_workers=True``): only the coordinator (and
+      its standbys) touch the store; workers run on
+      :class:`~repro.cluster.remote.RemoteStore` and commit results over
+      ``POST /results/commit`` with a local journal underneath — the
+      topology the chaos suite and the CI chaos-smoke job exercise.
+
+    ``standbys`` adds lease-contending coordinator instances: they accept
+    submissions and serve status/exports, and the first one whose monitor
+    tick finds the primary's lease expired seizes it and resumes fan-out.
+    ``faults`` (a :class:`~repro.cluster.faults.FaultPlan`) injects drops /
+    delays / duplicates / 5xx into every wire worker's client.
+    """
 
     def __init__(
         self,
@@ -37,9 +54,17 @@ class LocalCluster:
         heartbeat_interval: float = LOCAL_HEARTBEAT_INTERVAL,
         liveness_timeout: float = LOCAL_LIVENESS_TIMEOUT,
         prefix: str = "w",
+        standbys: int = 0,
+        wire_workers: bool = False,
+        faults: Optional[object] = None,  # cluster.faults.FaultPlan
+        workdir: Optional[Union[str, Path]] = None,
     ) -> None:
         if instances < 1:
             raise ValueError("a cluster needs at least one worker instance")
+        if standbys < 0:
+            raise ValueError("standbys must be non-negative")
+        if wire_workers and workdir is None:
+            raise ValueError("wire workers need a workdir for their journals")
         self._owns_store = not isinstance(store, ResultStore)
         self.store = ResultStore(store) if self._owns_store else store
         self.instances = int(instances)
@@ -48,20 +73,34 @@ class LocalCluster:
         self.heartbeat_interval = float(heartbeat_interval)
         self.liveness_timeout = float(liveness_timeout)
         self.prefix = prefix
+        self.standby_count = int(standbys)
+        self.wire_workers = bool(wire_workers)
+        self.faults = faults
+        self.workdir = Path(workdir) if workdir is not None else None
         self.coordinator = None  # type: Optional[object]  # CampaignServer
+        self.standbys: List[object] = []  # CampaignServer
         self.workers: List[object] = []  # CampaignServer
 
     # -- lifecycle -------------------------------------------------------------
+    def _worker_client(self):
+        """The HTTP client wire workers use — fault-injecting when planned."""
+        if self.faults is None:
+            return None
+        from repro.cluster.faults import FaultyClusterClient
+
+        return FaultyClusterClient(self.faults)
+
     def start(self) -> "LocalCluster":
         # Imported lazily: repro.service.app imports repro.cluster, so a
         # top-level import here would be circular.
+        from repro.cluster.remote import RemoteStore
         from repro.service.app import CampaignServer
 
-        def server(instance_id: str, role: str) -> CampaignServer:
+        def server(instance_id: str, role: str, store: object = None) -> CampaignServer:
             return CampaignServer(
                 host=self.host,
                 port=0,
-                store=self.store,
+                store=self.store if store is None else store,
                 settings=self.settings,
                 cluster=ClusterConfig(
                     instance_id=instance_id,
@@ -73,25 +112,49 @@ class LocalCluster:
 
         try:
             self.coordinator = server(f"{self.prefix}-coordinator", "coordinator")
-            self.workers = [
-                server(f"{self.prefix}{index}", "worker")
-                for index in range(1, self.instances + 1)
+            self.standbys = [
+                server(f"{self.prefix}-standby{index}", "coordinator")
+                for index in range(1, self.standby_count + 1)
             ]
-            # Workers first: by the time the coordinator's monitor thread
-            # runs its first tick, every worker has registered.
-            for worker in self.workers:
-                worker.start()
-            self.coordinator.start()
+            if self.wire_workers:
+                # The coordinator comes up first: wire workers dial it to
+                # register.  A submission accepted before workers appear
+                # stays queued until a tick finds live workers.
+                self.coordinator.start()
+                for standby in self.standbys:
+                    standby.start()
+                for index in range(1, self.instances + 1):
+                    remote = RemoteStore(
+                        self.coordinator.url,
+                        journal=self.workdir / f"{self.prefix}{index}.journal.jsonl",
+                        client=self._worker_client(),
+                    )
+                    worker = server(f"{self.prefix}{index}", "worker", store=remote)
+                    self.workers.append(worker)
+                    worker.start()
+            else:
+                self.workers = [
+                    server(f"{self.prefix}{index}", "worker")
+                    for index in range(1, self.instances + 1)
+                ]
+                # Workers first: by the time the coordinator's monitor thread
+                # runs its first tick, every worker has registered.
+                for worker in self.workers:
+                    worker.start()
+                for standby in self.standbys:
+                    standby.start()
+                self.coordinator.start()
         except Exception:
             self.stop()
             raise
         return self
 
     def stop(self) -> None:
-        for server_ in [*self.workers, self.coordinator]:
+        for server_ in [*self.workers, *self.standbys, self.coordinator]:
             if server_ is not None:
                 server_.stop()
         self.workers = []
+        self.standbys = []
         self.coordinator = None
         if self._owns_store:
             self.store.close()

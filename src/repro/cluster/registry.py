@@ -10,12 +10,17 @@ its shards.  Because the table lives in the shared store, every cluster
 member (and any offline CLI invocation pointed at the store) sees the same
 membership without talking to anyone.
 
-Clock assumption: heartbeats are stamped with the writer's wall clock and
-aged against the reader's, so multi-box deployments need clocks synchronized
-to well within the liveness timeout (NTP easily clears the default 10s
-budget; widen ``liveness_timeout`` if your skew is larger).  Removing the
-assumption entirely needs a designated clock authority and is tracked under
-the ROADMAP's cluster-hardening item.
+Clock policy: **sender timestamps are never trusted.**  A heartbeat is an
+event, not a claim — :meth:`InstanceRegistry.record_heartbeat` stamps the
+arrival with the *receiver's* clock (the registry's injected ``clock=``),
+and the wire decoders reject any envelope that tries to carry its own
+timestamp.  A wire-native worker whose wall clock is minutes wrong is
+therefore indistinguishable from one whose clock is right; liveness skew
+reduces to the receiver's own clock monotonicity.  Members that write the
+store *directly* (store-native instances heartbeating through their own
+registry object) still stamp with their local clock, so multi-box
+deployments of store-native members need NTP within the liveness timeout —
+wire members do not.
 """
 
 from __future__ import annotations
@@ -94,7 +99,16 @@ class Instance:
     def executes(self) -> bool:
         return self.role in ("worker", "both")
 
+    @property
+    def coordinates(self) -> bool:
+        return self.role in ("coordinator", "both")
+
     def heartbeat_age(self, now: Optional[float] = None) -> float:
+        """Age of the last heartbeat against the *reader's* clock.
+
+        ``heartbeat_at`` was stamped by whichever registry received the
+        beat, never by the sender — see the module docstring's clock policy.
+        """
         return (time.time() if now is None else now) - self.heartbeat_at
 
     def live(self, timeout: float, now: Optional[float] = None) -> bool:
@@ -142,8 +156,24 @@ class InstanceRegistry:
         self.store.register_instance(instance_id, host, port, role, merged, now=now)
         return Instance(instance_id, host, int(port), role, merged, now, now)
 
-    def heartbeat(self, instance_id: str) -> bool:
+    def clock(self) -> float:
+        """The receiver-side clock every registry write is stamped with."""
+        return self._clock()
+
+    def record_heartbeat(self, instance_id: str) -> bool:
+        """Record a heartbeat *arrival*, stamped with this registry's clock.
+
+        This is the receiving end of ``POST /cluster/heartbeat`` — whatever
+        clock the sender believes in, the stored timestamp is ours, which is
+        what makes wire-member liveness immune to sender clock skew.
+        Returns False for an unknown instance (the sender must re-register).
+        """
         return self.store.heartbeat_instance(instance_id, now=self._clock())
+
+    # ``heartbeat`` is the self-stamping spelling store-native members use on
+    # their own registry object; it is the same receiver-clock write, because
+    # for a store-native member the sender *is* the receiver.
+    heartbeat = record_heartbeat
 
     def deregister(self, instance_id: str) -> bool:
         return self.store.remove_instance(instance_id)
@@ -176,6 +206,15 @@ class InstanceRegistry:
     def live_workers(self) -> List[Instance]:
         """Live instances that accept shard assignments, registration order."""
         return [i for i in self.live() if i.executes]
+
+    def live_coordinators(self) -> List[Instance]:
+        """Live instances that can coordinate (coordinator/both roles).
+
+        Wire-native workers resolve their commit targets from this list:
+        any of these is store-native and can receive ``/results/commit``,
+        whether or not it currently holds the coordinator lease.
+        """
+        return [i for i in self.live() if i.coordinates]
 
     def lapsed(self) -> List[Instance]:
         now = self._clock()

@@ -33,6 +33,7 @@ from repro.campaign.report import REPORTS
 from repro.campaign.store import ResultStore
 from repro.cluster.coordinator import ClusterCoordinator
 from repro.cluster.registry import ClusterConfig, InstanceRegistry
+from repro.cluster.remote import RemoteStore
 from repro.service.routes import Request, Response, dispatch, route_table
 from repro.service.worker import CampaignWorker, WorkerSettings
 from repro.service.wire import (
@@ -40,6 +41,10 @@ from repro.service.wire import (
     WireError,
     decode_assignment,
     decode_campaign_spec,
+    decode_instance_id,
+    decode_member,
+    decode_result_records,
+    decode_status_query,
     etag,
     render_table,
     spec_summary,
@@ -51,24 +56,53 @@ class CampaignApp:
 
     def __init__(
         self,
-        store: Union[str, Path, ResultStore] = "campaign.sqlite",
+        store: Union[str, Path, ResultStore, RemoteStore] = "campaign.sqlite",
         settings: Optional[WorkerSettings] = None,
         cluster: Optional[ClusterConfig] = None,
     ) -> None:
-        self._owns_store = not isinstance(store, ResultStore)
+        self._owns_store = not isinstance(store, (ResultStore, RemoteStore))
         self.store = ResultStore(store) if self._owns_store else store
         self.worker = CampaignWorker(self.store, settings)
         self.cluster = cluster
-        self.registry: Optional[InstanceRegistry] = None
+        self.registry = None  # InstanceRegistry | RemoteRegistry
         self.coordinator: Optional[ClusterCoordinator] = None
         self._endpoint: Optional[tuple] = None  # (host, port) once bound
         self._cluster_stop = threading.Event()
         self._cluster_threads: List[threading.Thread] = []
-        if cluster is not None:
+        if isinstance(self.store, RemoteStore):
+            # Wire-native member: no filesystem access to the store, so it
+            # can neither coordinate (no submissions table) nor answer the
+            # store-native routes — it executes shards and commits over HTTP.
+            if cluster is None:
+                raise ValueError(
+                    "a wire-native store needs a ClusterConfig (the member "
+                    "must register with its coordinator)"
+                )
+            if cluster.coordinates:
+                raise ValueError(
+                    "a wire-native member cannot coordinate: the coordinator "
+                    "role needs direct store access (leases, submission queue)"
+                )
+            # Imported lazily only to keep module import order obvious; the
+            # registry speaks to whichever store-native peer answers.
+            from repro.cluster.remote import RemoteRegistry
+
+            self.registry = RemoteRegistry(self.store)
+        elif cluster is not None:
             self.registry = InstanceRegistry(
                 self.store, liveness_timeout=cluster.liveness_timeout
             )
-            self.coordinator = ClusterCoordinator(self.store, self.registry)
+            self.coordinator = ClusterCoordinator(
+                self.store,
+                self.registry,
+                instance_id=cluster.instance_id,
+                lease_ttl=cluster.liveness_timeout,
+            )
+
+    @property
+    def store_native(self) -> bool:
+        """Whether this instance holds the SQLite store itself."""
+        return isinstance(self.store, ResultStore)
 
     # -- lifecycle -------------------------------------------------------------
     def set_endpoint(self, host: str, port: int) -> None:
@@ -90,6 +124,9 @@ class CampaignApp:
             capabilities={
                 "workers": self.worker.settings.workers,
                 "concurrency": self.worker.settings.concurrency,
+                # Advertised so peers know who can receive wire commits:
+                # only store-native members answer /results/commit.
+                "store": "native" if self.store_native else "wire",
             },
         )
         self._cluster_stop.clear()
@@ -127,6 +164,13 @@ class CampaignApp:
             thread.join(timeout=5.0)
         self._cluster_threads = []
         if deregister and self.cluster is not None and self.registry is not None:
+            if self.coordinator is not None and self.cluster.coordinates:
+                # Graceful exit hands the lease back so a standby takes over
+                # immediately instead of waiting out the TTL.
+                try:
+                    self.coordinator.release_lease()
+                except Exception:  # noqa: BLE001 — the store may already be gone
+                    pass
             try:
                 self.registry.deregister(self.cluster.instance_id)
             except Exception:  # noqa: BLE001 — the store may already be gone
@@ -139,6 +183,9 @@ class CampaignApp:
         # lapse.
         self._stop_cluster(deregister=True)
         stopped = self.worker.stop()
+        if isinstance(self.store, RemoteStore) and stopped:
+            # Final journal drain (best effort) + flush-thread shutdown.
+            self.store.close()
         # If the worker could not drain in time, a campaign is still running
         # on its executor thread; leaking the store beats yanking SQLite
         # connections out from under an in-flight commit.
@@ -164,14 +211,20 @@ class CampaignApp:
             "status": "ok",
             "version": repro.__version__,
             "store": self.store.path,
-            "results": self.store.count(),
             "campaigns": len(self.worker.records()),
             "routes": route_table(),
         }
+        if self.store_native:
+            payload["results"] = self.store.count()
+        else:
+            # A wire member's local truth is its journal: how many results
+            # it has finished but not yet gotten acknowledged by a peer.
+            payload["journal_pending"] = self.store.pending_count()
         if self.cluster is not None:
             payload["cluster"] = {
                 "instance_id": self.cluster.instance_id,
                 "role": self.cluster.role,
+                "store": "native" if self.store_native else "wire",
             }
         return Response.json(payload)
 
@@ -213,7 +266,18 @@ class CampaignApp:
             raise WireError(f"unknown campaign {cid!r}", status=404)
         return Response.json(status)
 
+    def _require_store_native(self) -> ResultStore:
+        """The routes that read or write store rows directly need the store."""
+        if not self.store_native:
+            raise WireError(
+                "this instance is wire-native (no store access); ask a "
+                "store-native member (the coordinator)",
+                status=409,
+            )
+        return self.store
+
     def _render_report(self, request: Request, keys: Sequence[str]) -> Response:
+        self._require_store_native()
         kind = request.param("kind", "table5")
         builder = REPORTS.get(kind)
         if builder is None:
@@ -238,6 +302,7 @@ class CampaignApp:
         return Response(body=body, content_type=content_type)
 
     def _stream_export(self, request: Request, keys: Sequence[str]) -> Response:
+        self._require_store_native()
         ok_only = request.param("status", "ok") == "ok"
         key_set = frozenset(keys)
         records = [
@@ -264,6 +329,74 @@ class CampaignApp:
         if keys is None:
             raise WireError(f"unknown campaign {cid!r}", status=404)
         return self._stream_export(request, keys)
+
+    # -- wire-native result path -----------------------------------------------
+    def commit_results(self, request: Request) -> Response:
+        """Receive a batch of result records from a wire-native worker.
+
+        Idempotent by construction (content-addressed keys; the store only
+        upgrades non-ok rows), so duplicated and replayed batches — retries,
+        injected faults, two workers racing on a re-assigned shard — are
+        absorbed without changing what an export will say.
+        """
+        store = self._require_store_native()
+        records = decode_result_records(request.body)
+        now = self.registry.clock() if isinstance(self.registry, InstanceRegistry) else None
+        written = store.commit_records(records, now=now)
+        return Response.json(
+            {"ok": True, "received": len(records), "committed": written}
+        )
+
+    def result_statuses(self, request: Request) -> Response:
+        store = self._require_store_native()
+        keys = decode_status_query(request.body)
+        return Response.json({"statuses": store.statuses(keys)})
+
+    # -- wire membership --------------------------------------------------------
+    def _require_member_registry(self) -> InstanceRegistry:
+        """Wire membership endpoints need the store-backed registry."""
+        self._require_store_native()
+        if not isinstance(self.registry, InstanceRegistry):
+            raise WireError(
+                "this instance is not a cluster member (start it with --cluster)",
+                status=409,
+            )
+        return self.registry
+
+    def _peer_urls(self) -> List[str]:
+        """Live store-native member URLs — valid wire-commit targets.
+
+        Handed back on register/heartbeat so wire members can re-resolve
+        the coordinator after a failover without any out-of-band config.
+        """
+        registry = self.registry
+        if not isinstance(registry, InstanceRegistry):
+            return []
+        return [
+            instance.url
+            for instance in registry.live()
+            if instance.capabilities.get("store") == "native"
+        ]
+
+    def cluster_register(self, request: Request) -> Response:
+        registry = self._require_member_registry()
+        member = decode_member(request.body)
+        registry.register(**member)  # receiver-stamped heartbeat start
+        return Response.json({"ok": True, "peers": self._peer_urls()})
+
+    def cluster_heartbeat(self, request: Request) -> Response:
+        registry = self._require_member_registry()
+        instance_id = decode_instance_id(request.body)
+        # The arrival time on *our* clock is the heartbeat — the envelope
+        # carries no timestamp (the decoder rejects any), so a wire member
+        # with a skewed wall clock is judged exactly like one without.
+        known = registry.record_heartbeat(instance_id)
+        return Response.json({"ok": known, "peers": self._peer_urls()})
+
+    def cluster_deregister(self, request: Request) -> Response:
+        registry = self._require_member_registry()
+        instance_id = decode_instance_id(request.body)
+        return Response.json({"ok": registry.deregister(instance_id)})
 
     # -- cluster endpoints -----------------------------------------------------
     def _require_cluster(self) -> ClusterCoordinator:
@@ -408,7 +541,7 @@ class CampaignServer:
         self,
         host: str = "127.0.0.1",
         port: int = 8000,
-        store: Union[str, Path, ResultStore] = "campaign.sqlite",
+        store: Union[str, Path, ResultStore, RemoteStore] = "campaign.sqlite",
         settings: Optional[WorkerSettings] = None,
         quiet: bool = True,
         cluster: Optional[ClusterConfig] = None,

@@ -22,6 +22,16 @@ Endpoints
     A rendered report table (``format=json|jsonl|text``).
 ``GET  /campaigns/{id}/export``
     The campaign's results, streamed as deterministic JSONL.
+``POST /results/commit``
+    Wire-native result path: a JSONL batch of store records committed to
+    this instance's store (idempotent — keys are content addresses).
+``POST /results/statuses``
+    Bulk status lookup (``{"keys": [...]}``) for wire-native schedulers.
+``POST /cluster/register`` / ``POST /cluster/heartbeat`` /
+``POST /cluster/deregister``
+    Wire membership: envelopes carry no timestamps; heartbeat arrivals are
+    stamped with the *receiver's* clock.  Responses list the live
+    store-native peer URLs so wire members can re-resolve the coordinator.
 ``GET  /cluster/status``
     Aggregated cluster view: instances with liveness, submissions with
     per-instance merged progress.
@@ -90,6 +100,11 @@ _ROUTES: Tuple[Tuple[str, "re.Pattern[str]", str], ...] = tuple(
         ("GET", r"^/campaigns/(?P<cid>[A-Za-z0-9_-]+)$", "campaign_status"),
         ("GET", r"^/campaigns/(?P<cid>[A-Za-z0-9_-]+)/report$", "campaign_report"),
         ("GET", r"^/campaigns/(?P<cid>[A-Za-z0-9_-]+)/export$", "campaign_export"),
+        ("POST", r"^/results/commit$", "commit_results"),
+        ("POST", r"^/results/statuses$", "result_statuses"),
+        ("POST", r"^/cluster/register$", "cluster_register"),
+        ("POST", r"^/cluster/heartbeat$", "cluster_heartbeat"),
+        ("POST", r"^/cluster/deregister$", "cluster_deregister"),
         ("GET", r"^/cluster/status$", "cluster_status"),
         ("GET", r"^/cluster/instances$", "cluster_instances"),
         ("POST", r"^/cluster/campaigns$", "cluster_submit"),

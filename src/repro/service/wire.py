@@ -15,10 +15,12 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Dict, Mapping, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 from repro.campaign.jobs import CampaignSpec, JobSpec
 from repro.campaign.scheduler import ShardPlan
+from repro.campaign.store import RECORD_FIELDS
+from repro.cluster.registry import ROLES
 from repro.reporting import ResultTable
 
 #: Media types used by the service responses.
@@ -108,6 +110,127 @@ def decode_job_spec(data: Mapping[str, object]) -> JobSpec:
     except (KeyError, ValueError) as error:
         message = error.args[0] if error.args and isinstance(error.args[0], str) else error
         raise WireError(f"invalid job spec: {message}") from None
+
+
+def decode_result_records(body: bytes) -> List[Dict[str, object]]:
+    """Decode a ``POST /results/commit`` batch: one JSON record per line.
+
+    Every record must carry exactly the store's :data:`RECORD_FIELDS` — in
+    particular **no** ``created_at``: commit timestamps are stamped by the
+    receiving store, never trusted from the sender (same clock policy as
+    heartbeats).  Malformed batches are a 400 with the offending line.
+    """
+    if not body:
+        raise WireError("commit body must be JSONL (one result record per line)")
+    try:
+        text = body.decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise WireError(f"commit body is not UTF-8: {error}") from None
+    records: List[Dict[str, object]] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise WireError(f"commit line {number} is not JSON: {error}") from None
+        if not isinstance(record, Mapping):
+            raise WireError(f"commit line {number} must be a JSON object")
+        missing = sorted(set(RECORD_FIELDS) - set(record))
+        if missing:
+            raise WireError(
+                f"commit line {number} is missing field(s): {', '.join(missing)}"
+            )
+        unknown = sorted(set(record) - set(RECORD_FIELDS))
+        if unknown:
+            raise WireError(
+                f"commit line {number} has unknown field(s): {', '.join(unknown)}"
+            )
+        records.append(dict(record))
+    if not records:
+        raise WireError("commit body holds no result records")
+    return records
+
+
+def decode_status_query(body: bytes) -> List[str]:
+    """Decode a ``POST /results/statuses`` body: ``{"keys": [...]}``."""
+    data = decode_json(body)
+    if not isinstance(data, Mapping):
+        raise WireError("status query must be a JSON object")
+    unknown = sorted(set(data) - {"keys"})
+    if unknown:
+        raise WireError(f"unknown status query field(s): {', '.join(unknown)}")
+    keys = data.get("keys")
+    if not isinstance(keys, list) or not all(isinstance(k, str) for k in keys):
+        raise WireError("status query field 'keys' must be an array of strings")
+    return list(keys)
+
+
+#: Fields a wire registration may carry.  Deliberately no timestamps: an
+#: envelope trying to smuggle ``heartbeat_at``/``started_at`` is a 400, which
+#: is how the receiver-clock liveness policy is enforced at the boundary.
+_MEMBER_FIELDS = {"instance_id", "host", "port", "role", "capabilities"}
+
+
+def decode_member(body: bytes) -> Dict[str, object]:
+    """Decode a ``POST /cluster/register`` envelope (strict, timestamp-free)."""
+    data = decode_json(body)
+    if not isinstance(data, Mapping):
+        raise WireError("registration must be a JSON object")
+    unknown = sorted(set(data) - _MEMBER_FIELDS)
+    if unknown:
+        raise WireError(
+            f"unknown registration field(s): {', '.join(unknown)} "
+            "(timestamps are receiver-stamped and must not be sent)"
+        )
+    for required in ("instance_id", "host", "port"):
+        if required not in data:
+            raise WireError(f"registration is missing {required!r}")
+    instance_id = data["instance_id"]
+    host = data["host"]
+    if not isinstance(instance_id, str) or not instance_id:
+        raise WireError("registration field 'instance_id' must be a non-empty string")
+    if not isinstance(host, str) or not host:
+        raise WireError("registration field 'host' must be a non-empty string")
+    try:
+        port = int(data["port"])  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise WireError("registration field 'port' must be an integer") from None
+    role = data.get("role", "worker")
+    if role not in ROLES:
+        raise WireError(f"unknown cluster role {role!r}; expected one of {ROLES}")
+    capabilities = data.get("capabilities", {})
+    if not isinstance(capabilities, Mapping):
+        raise WireError("registration field 'capabilities' must be a JSON object")
+    return {
+        "instance_id": instance_id,
+        "host": host,
+        "port": port,
+        "role": role,
+        "capabilities": dict(capabilities),
+    }
+
+
+def decode_instance_id(body: bytes) -> str:
+    """Decode heartbeat/deregister envelopes: ``{"instance_id": "..."}``.
+
+    Strict like every other decoder — a heartbeat carrying a sender
+    timestamp is rejected, not ignored, so skew bugs cannot creep back in.
+    """
+    data = decode_json(body)
+    if not isinstance(data, Mapping):
+        raise WireError("envelope must be a JSON object")
+    unknown = sorted(set(data) - {"instance_id"})
+    if unknown:
+        raise WireError(
+            f"unknown field(s): {', '.join(unknown)} "
+            "(heartbeats carry no timestamps; arrival is receiver-stamped)"
+        )
+    instance_id = data.get("instance_id")
+    if not isinstance(instance_id, str) or not instance_id:
+        raise WireError("field 'instance_id' must be a non-empty string")
+    return instance_id
 
 
 def json_body(payload: object) -> bytes:
