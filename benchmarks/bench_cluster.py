@@ -28,15 +28,15 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
 import time
-from datetime import datetime, timezone
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from benchmarks.common import write_bench  # noqa: E402
 from repro.campaign import CampaignScheduler, CampaignSpec, ResultStore  # noqa: E402
 from repro.cluster import ClusterClient, FaultPlan, LocalCluster, kill_instance  # noqa: E402
 from repro.cluster.faults import ChaosTally  # noqa: E402
@@ -274,14 +274,8 @@ def main(argv=None) -> int:
     warm = all(run["warm_ok"] for run in runs)
     met = identical and warm and (chaos is None or chaos["identical_export"])
 
-    report = {
-        "schema": "bench_cluster/v1",
-        "timestamp": datetime.now(timezone.utc).isoformat(),
+    data = {
         "quick": args.quick,
-        "host": {
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-        },
         "campaign": {
             "describe": spec.describe(),
             "jobs": spec.size(),
@@ -295,9 +289,20 @@ def main(argv=None) -> int:
         },
     }
     if chaos is not None:
-        report["chaos"] = chaos
+        data["chaos"] = chaos
     output = Path(args.output)
-    output.write_text(json.dumps(report, indent=2) + "\n")
+    write_bench(
+        output,
+        "cluster",
+        data,
+        units={
+            "cold_seconds": "s",
+            "warm_seconds": "s",
+            "scaling_vs_1": "ratio",
+            "lease_seizure_s": "s",
+            "recovery_to_done_s": "s",
+        },
+    )
     print(f"wrote {output}")
     print(
         f"thresholds (byte-identical exports, 100% warm re-submits): "

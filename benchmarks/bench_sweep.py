@@ -13,25 +13,23 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_sweep.py [--quick] [--check]
 
 ``--quick`` shrinks the grids for CI smoke runs; ``--check`` exits non-zero
-if any engine pair diverges or the batch sweep speedup falls below 5x.
+if any engine pair diverges, the batch sweep speedup falls below 5x, or the
+metrics instrumentation adds more than 5% to the campaign wall time.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import sys
 import time
 from contextlib import contextmanager
-from datetime import datetime, timezone
 from pathlib import Path
 
-import numpy as np
-
 REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from benchmarks.common import write_bench  # noqa: E402
 from repro import model as model_pkg  # noqa: E402
 from repro.campaign import CampaignScheduler, CampaignSpec, ResultStore  # noqa: E402
 from repro.ir.stencil import GridSpec  # noqa: E402
@@ -42,6 +40,11 @@ from repro.tuning.search_space import REGISTER_LIMITS, default_search_space  # n
 #: CI acceptance threshold for the batch/scalar cold-sweep speedup (the
 #: observed ratio is far higher; 5x keeps the gate robust on noisy runners).
 SWEEP_SPEEDUP_MIN = 5.0
+
+#: Maximum fraction the metrics instrumentation may add to campaign wall
+#: time.  The obs layer observes per job/commit, never per config, so the
+#: real overhead is far below this; 5% absorbs runner noise.
+OVERHEAD_MAX = 0.05
 
 
 @contextmanager
@@ -160,6 +163,55 @@ def bench_campaign(quick: bool) -> dict:
     }
 
 
+def bench_overhead(quick: bool, repeats: int = 3) -> dict:
+    """Instrumentation overhead: the same campaign with metrics on and off.
+
+    Runs the batched model-only campaign once per repeat against the live
+    default registry and once against :data:`NULL_REGISTRY` (every observe a
+    no-op), taking the best time of each so scheduler jitter does not read
+    as overhead.
+    """
+    from repro.obs import NULL_REGISTRY, MetricsRegistry, set_registry
+
+    benchmarks = ("j2d5pt", "star3d1r") if quick else ("j2d5pt", "j2d9pt", "gradient2d", "star3d1r")
+    spec = CampaignSpec(
+        benchmarks=benchmarks,
+        gpus=("V100",),
+        dtypes=("float",),
+        kinds=("tune", "predict"),
+        time_steps=200 if quick else 1000,
+        interior_2d=(2048, 2048) if quick else (16384, 16384),
+        interior_3d=(128, 128, 128) if quick else (512, 512, 512),
+    )
+
+    def cold_run() -> float:
+        model_pkg.clear_model_caches()
+        with ResultStore(":memory:") as store:
+            start = time.perf_counter()
+            CampaignScheduler(spec, store).run()
+            return time.perf_counter() - start
+
+    instrumented, bare = [], []
+    try:
+        for _ in range(repeats):
+            set_registry(MetricsRegistry())
+            instrumented.append(cold_run())
+            set_registry(NULL_REGISTRY)
+            bare.append(cold_run())
+    finally:
+        set_registry(MetricsRegistry())
+
+    t_on, t_off = min(instrumented), min(bare)
+    overhead = (t_on - t_off) / t_off if t_off > 0 else 0.0
+    return {
+        "jobs_per_run": len(benchmarks) * 2,  # tune + predict per benchmark
+        "repeats": repeats,
+        "instrumented_seconds": t_on,
+        "null_registry_seconds": t_off,
+        "overhead_fraction": overhead,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="small CI-sized workloads")
@@ -191,33 +243,48 @@ def main(argv=None) -> int:
         f"over {campaign['jobs']} cold jobs, identical={campaign['identical']}"
     )
 
+    overhead = bench_overhead(args.quick)
+    print(
+        f"overhead  : instrumented {overhead['instrumented_seconds']:.2f}s "
+        f"(null registry {overhead['null_registry_seconds']:.2f}s) -> "
+        f"{overhead['overhead_fraction'] * 100:+.1f}%"
+    )
+
     identical = all(sweep["identical"] for sweep in sweeps) and campaign["identical"]
     speedup_ok = all(sweep["speedup"] >= SWEEP_SPEEDUP_MIN for sweep in sweeps)
-    met = identical and speedup_ok
+    overhead_ok = overhead["overhead_fraction"] <= OVERHEAD_MAX
+    met = identical and speedup_ok and overhead_ok
 
-    report = {
-        "schema": "bench_sweep/v1",
-        "timestamp": datetime.now(timezone.utc).isoformat(),
-        "quick": args.quick,
-        "host": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-        },
-        "sweeps": sweeps,
-        "campaign": campaign,
-        "thresholds": {
-            "sweep_speedup_min": SWEEP_SPEEDUP_MIN,
-            "identical": identical,
-            "met": met,
-        },
-    }
     output = Path(args.output)
-    output.write_text(json.dumps(report, indent=2) + "\n")
+    write_bench(
+        output,
+        "sweep",
+        {
+            "quick": args.quick,
+            "sweeps": sweeps,
+            "campaign": campaign,
+            "overhead": overhead,
+            "thresholds": {
+                "sweep_speedup_min": SWEEP_SPEEDUP_MIN,
+                "overhead_max": OVERHEAD_MAX,
+                "identical": identical,
+                "overhead_ok": overhead_ok,
+                "met": met,
+            },
+        },
+        units={
+            "batch_seconds": "s",
+            "scalar_seconds": "s",
+            "batch_configs_per_s": "configs/s",
+            "scalar_configs_per_s": "configs/s",
+            "speedup": "ratio",
+            "overhead_fraction": "ratio",
+        },
+    )
     print(f"wrote {output}")
     print(
-        f"thresholds (identical results, sweep >= {SWEEP_SPEEDUP_MIN}x): "
-        f"{'MET' if met else 'NOT MET'}"
+        f"thresholds (identical results, sweep >= {SWEEP_SPEEDUP_MIN}x, "
+        f"overhead <= {OVERHEAD_MAX:.0%}): {'MET' if met else 'NOT MET'}"
     )
     if args.check and not met:
         return 1

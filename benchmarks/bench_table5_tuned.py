@@ -13,13 +13,11 @@ The default run covers the Tesla V100 in single and double precision for all
 
 from __future__ import annotations
 
-import json
-import platform
-from datetime import datetime, timezone
 from pathlib import Path
 
 import pytest
 
+from benchmarks.common import read_bench_data, write_bench
 from benchmarks.conftest import FULL_SWEEP, format_table, report
 from repro.campaign import CampaignScheduler, CampaignSpec, ResultStore
 
@@ -60,17 +58,17 @@ def result_rows(results):
 
 
 def record_campaign_timing(label: str, cold, warm) -> None:
-    """Merge one sweep's cold/warm timings into BENCH_campaign.json."""
-    if BENCH_CAMPAIGN_JSON.exists():
-        document = json.loads(BENCH_CAMPAIGN_JSON.read_text())
-    else:
-        document = {"benchmark": "campaign_table5", "sweeps": {}}
-    document["generated_at"] = datetime.now(timezone.utc).isoformat()
-    document["platform"] = {
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-    }
-    document["sweeps"][label] = {
+    """Merge one sweep's cold/warm timings into BENCH_campaign.json.
+
+    Reads whatever is on disk (old bespoke format or the shared
+    ``an5d-bench/v1`` envelope), merges this sweep's row into the
+    ``sweeps`` map, and re-emits the enveloped document.
+    """
+    existing = read_bench_data(BENCH_CAMPAIGN_JSON)
+    sweeps = existing.get("sweeps")
+    if not isinstance(sweeps, dict):
+        sweeps = {}
+    sweeps[label] = {
         "jobs": cold.total,
         "cold_s": round(cold.duration_s, 3),
         "warm_s": round(warm.duration_s, 3),
@@ -79,7 +77,12 @@ def record_campaign_timing(label: str, cold, warm) -> None:
         if warm.duration_s > 0
         else None,
     }
-    BENCH_CAMPAIGN_JSON.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    write_bench(
+        BENCH_CAMPAIGN_JSON,
+        "campaign_table5",
+        {"sweeps": sweeps},
+        units={"cold_s": "s", "warm_s": "s", "warm_cache_hit_rate": "ratio", "speedup": "ratio"},
+    )
 
 
 @pytest.mark.parametrize("gpu", GPUS)

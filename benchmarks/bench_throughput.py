@@ -20,19 +20,18 @@ speedup is >= 3x.
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import sys
 import time
 from dataclasses import replace
-from datetime import datetime, timezone
 from pathlib import Path
 
 import numpy as np
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from benchmarks.common import write_bench  # noqa: E402
 from repro import model as model_pkg  # noqa: E402
 from repro.core.config import BlockingConfig  # noqa: E402
 from repro.ir.compile import _native_compiler, compile_pattern, native_supported  # noqa: E402
@@ -366,26 +365,29 @@ def main(argv=None) -> int:
         and executor["bitwise_identical_to_legacy"]
         and tuner["same_answer_as_legacy"]
     )
-    report = {
-        "schema": "bench_throughput/v1",
-        "timestamp": datetime.now(timezone.utc).isoformat(),
-        "quick": args.quick,
-        "host": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-            "native_compiler": _native_compiler() or "none",
-        },
-        "executor": executor,
-        "tuner": tuner,
-        "thresholds": {
-            "executor_speedup_min": EXECUTOR_SPEEDUP_MIN,
-            "tuner_speedup_min": TUNER_SPEEDUP_MIN,
-            "met": met,
-        },
-    }
     output = Path(args.output)
-    output.write_text(json.dumps(report, indent=2) + "\n")
+    write_bench(
+        output,
+        "throughput",
+        {
+            "quick": args.quick,
+            "native_compiler": _native_compiler() or "none",
+            "executor": executor,
+            "tuner": tuner,
+            "thresholds": {
+                "executor_speedup_min": EXECUTOR_SPEEDUP_MIN,
+                "tuner_speedup_min": TUNER_SPEEDUP_MIN,
+                "met": met,
+            },
+        },
+        units={
+            "new_mcells_per_s": "Mcells/s",
+            "legacy_mcells_per_s": "Mcells/s",
+            "new_configs_per_s": "configs/s",
+            "legacy_configs_per_s": "configs/s",
+            "speedup": "ratio",
+        },
+    )
     print(f"wrote {output}")
     print(f"thresholds (executor >= {EXECUTOR_SPEEDUP_MIN}x, tuner >= {TUNER_SPEEDUP_MIN}x): "
           f"{'MET' if met else 'NOT MET'}")

@@ -1,0 +1,157 @@
+"""Shared schema for every ``BENCH_*.json`` artifact at the repo root.
+
+Until PR 7 the four benchmark writers (sweep, throughput, cluster, and the
+Table-5 campaign bench) each invented their own top-level report shape, so
+comparing artifacts across PRs meant knowing four formats.  Now they all
+emit one envelope::
+
+    {
+      "schema": "an5d-bench/v1",
+      "benchmark": "<name>",
+      "generated_at": "<UTC ISO-8601>",
+      "git_rev": "<short rev or 'unknown'>",
+      "host": {"python": ..., "numpy": ..., "platform": ..., "machine": ...},
+      "units": {"<metric>": "<unit>", ...},
+      "data": {...benchmark-specific payload...}
+    }
+
+``data`` keeps each benchmark's existing payload verbatim; the envelope only
+standardises the metadata around it.  :func:`migrate_report` wraps a
+pre-envelope artifact without re-running the benchmark, preserving whatever
+timestamp/host info the old format carried.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, Optional
+
+BENCH_SCHEMA = "an5d-bench/v1"
+
+
+def git_rev(repo_root: Optional[Path] = None) -> str:
+    """Short git revision of the repo, or ``"unknown"`` outside a checkout."""
+    root = repo_root or Path(__file__).resolve().parent.parent
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+        return out.stdout.strip() or "unknown"
+    except Exception:  # noqa: BLE001 — no git, detached worktree, etc.
+        return "unknown"
+
+
+def host_info() -> Dict[str, str]:
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except Exception:  # noqa: BLE001
+        numpy_version = "unavailable"
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
+def bench_envelope(
+    benchmark: str,
+    data: Dict[str, object],
+    units: Optional[Dict[str, str]] = None,
+    generated_at: Optional[str] = None,
+) -> Dict[str, object]:
+    """Wrap a benchmark payload in the shared ``an5d-bench/v1`` envelope."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "benchmark": benchmark,
+        "generated_at": generated_at
+        or datetime.now(timezone.utc).isoformat(),
+        "git_rev": git_rev(),
+        "host": host_info(),
+        "units": dict(units or {}),
+        "data": dict(data),
+    }
+
+
+def write_bench(
+    path: Path,
+    benchmark: str,
+    data: Dict[str, object],
+    units: Optional[Dict[str, str]] = None,
+) -> Dict[str, object]:
+    """Write an enveloped report to ``path``; returns the document."""
+    document = bench_envelope(benchmark, data, units)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document
+
+
+def read_bench_data(path: Path) -> Dict[str, object]:
+    """Load the ``data`` payload from an artifact, old format or new.
+
+    Pre-envelope files *are* the payload; enveloped files carry it under
+    ``"data"``.  Returns ``{}`` for a missing or unreadable file so merge
+    writers (the Table-5 campaign bench) can start fresh.
+    """
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(document, dict):
+        return {}
+    if document.get("schema") == BENCH_SCHEMA:
+        data = document.get("data")
+        return dict(data) if isinstance(data, dict) else {}
+    return document
+
+
+def migrate_report(
+    path: Path, benchmark: str, units: Optional[Dict[str, str]] = None
+) -> Optional[Dict[str, object]]:
+    """Re-emit an old-format artifact in the shared envelope, in place.
+
+    The old payload moves under ``data`` unchanged (minus any old top-level
+    timestamp, which becomes the envelope's ``generated_at``).  Already
+    migrated or missing files are left alone; returns the new document or
+    ``None`` when nothing was done.
+    """
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(document, dict) or document.get("schema") == BENCH_SCHEMA:
+        return None
+    data = dict(document)
+    generated_at = None
+    for key in ("timestamp", "generated_at"):
+        if isinstance(data.get(key), str):
+            generated_at = data.pop(key)
+            break
+    # Metadata the envelope now carries; the old per-writer spellings of it
+    # would otherwise linger inside ``data``.
+    for key in ("schema", "benchmark", "host", "platform"):
+        data.pop(key, None)
+    new_document = bench_envelope(benchmark, data, units, generated_at=generated_at)
+    path.write_text(json.dumps(new_document, indent=2, sort_keys=True) + "\n")
+    return new_document
+
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "bench_envelope",
+    "git_rev",
+    "host_info",
+    "migrate_report",
+    "read_bench_data",
+    "write_bench",
+]

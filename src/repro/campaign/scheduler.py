@@ -42,6 +42,7 @@ from repro.campaign.jobs import (
     run_predict_jobs,
 )
 from repro.campaign.store import ResultStore
+from repro.obs import MetricsRegistry, get_registry
 
 
 @dataclass(frozen=True)
@@ -216,6 +217,7 @@ class CampaignScheduler:
         shards: int = 1,
         shard_index: int = 0,
         plan: Optional[ShardPlan] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if plan is None:
             plan = ShardPlan(shards, (shard_index,))
@@ -227,6 +229,7 @@ class CampaignScheduler:
         self.timeout = timeout
         self.retries = retries
         self.shard_plan = plan
+        self.metrics = metrics if metrics is not None else get_registry()
 
     @property
     def shards(self) -> int:
@@ -283,6 +286,17 @@ class CampaignScheduler:
         }
 
     # -- execution -------------------------------------------------------------
+    def _observe_job(self, kind: str, status: str, elapsed_s: float) -> None:
+        """Per-job accounting: one observe per *job*, never per config, so
+        the instrumentation cost is invisible next to the job itself."""
+        self.metrics.counter(
+            "jobs_completed_total", "Jobs finished, by kind and status",
+            labels=("kind", "status"),
+        ).inc(kind=kind, status=status)
+        self.metrics.histogram(
+            "job_execution_seconds", "Job execution time by kind", labels=("kind",)
+        ).observe(elapsed_s, kind=kind)
+
     @staticmethod
     def _payload_configs(kind: str, payload: Dict[str, object]) -> int:
         """Model/simulator configurations one ok payload accounts for."""
@@ -323,6 +337,7 @@ class CampaignScheduler:
             elapsed = (time.perf_counter() - start) / len(group)
             for job, payload in zip(group, payloads):
                 self.store.put(job, payload, status="ok", elapsed_s=elapsed)
+                self._observe_job(job.kind, "ok", elapsed)
                 evaluated += 1
                 if progress is not None:
                     progress(job, "ok")
@@ -349,7 +364,12 @@ class CampaignScheduler:
         for index, status, payload, elapsed in results:
             job = jobs[index]
             self.store.put(job, payload, status=status, elapsed_s=elapsed)
+            self._observe_job(job.kind, status, elapsed)
             if status != "ok":
+                if "JobTimeout" in str(payload.get("error", "")):
+                    self.metrics.counter(
+                        "job_timeouts_total", "Jobs killed by the per-job time budget"
+                    ).inc()
                 failed.append(job)
             else:
                 evaluated += self._payload_configs(job.kind, payload)
@@ -395,6 +415,9 @@ class CampaignScheduler:
             if not failed:
                 break
             retried += len(failed)
+            self.metrics.counter(
+                "jobs_retried_total", "Failed jobs re-run by the retry loop"
+            ).inc(len(failed))
             failed, retry_configs = self._run_batch(failed, progress)
             configs_evaluated += retry_configs
 

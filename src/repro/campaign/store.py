@@ -36,6 +36,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import repro
 from repro.campaign.jobs import JobSpec
+from repro.obs import MetricsRegistry, get_registry
+from repro.obs.metrics import SIZE_BUCKETS
 from repro.reporting import ResultTable
 
 #: Bump when the stored payload layout changes incompatibly.  Version 2 adds
@@ -206,10 +208,14 @@ class ResultStore:
     BUSY_TIMEOUT_S = 30.0
 
     def __init__(
-        self, path: Union[str, Path] = "campaign.sqlite", timeout_s: Optional[float] = None
+        self,
+        path: Union[str, Path] = "campaign.sqlite",
+        timeout_s: Optional[float] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.path = str(path)
         self.timeout_s = self.BUSY_TIMEOUT_S if timeout_s is None else float(timeout_s)
+        self.metrics = metrics if metrics is not None else get_registry()
         self._lock = threading.Lock()
         # Serialises writers on the shared in-memory connection; file stores
         # rely on WAL + busy timeout instead (their writers never share one
@@ -283,15 +289,21 @@ class ResultStore:
 
     # -- writes ----------------------------------------------------------------
     def _commit(self, sql: str, args: Sequence[object]) -> sqlite3.Cursor:
-        """Execute one write statement and commit it immediately."""
-        if self._shared is not None:
-            with self._write_lock:
-                cursor = self._conn.execute(sql, args)
-                self._conn.commit()
-                return cursor
-        cursor = self._conn.execute(sql, args)
-        self._conn.commit()
-        return cursor
+        """Execute one write statement and commit it immediately (timed)."""
+        start = time.perf_counter()
+        try:
+            if self._shared is not None:
+                with self._write_lock:
+                    cursor = self._conn.execute(sql, args)
+                    self._conn.commit()
+                    return cursor
+            cursor = self._conn.execute(sql, args)
+            self._conn.commit()
+            return cursor
+        finally:
+            self.metrics.histogram(
+                "store_commit_seconds", "SQLite write-and-commit latency per call"
+            ).observe(time.perf_counter() - start)
 
     def put(
         self,
@@ -377,6 +389,18 @@ class ResultStore:
                 ),
             )
             committed += cursor.rowcount
+        self.metrics.histogram(
+            "store_commit_batch_size",
+            "Records per wire-commit batch",
+            buckets=SIZE_BUCKETS,
+        ).observe(float(len(records)))
+        if committed < len(records):
+            # A record that changed no row lost the upsert conflict: its key
+            # already holds an ``ok`` result (replay, racing workers).
+            self.metrics.counter(
+                "store_upsert_conflicts_total",
+                "Wire-committed records dropped because an ok row already existed",
+            ).inc(len(records) - committed)
         return committed
 
     def delete(self, key: str) -> bool:

@@ -478,6 +478,11 @@ def _cluster_config(args: argparse.Namespace, role: str):
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import CampaignServer, WorkerSettings
 
+    event_log = getattr(args, "event_log", None)
+    if event_log:
+        from repro.obs import EVENTS
+
+        EVENTS.configure(event_log)
     role = getattr(args, "role", "worker")
     coordinator_url = getattr(args, "coordinator_url", None)
     cluster = None
@@ -604,9 +609,61 @@ def _add_serve_parser(sub: argparse._SubParsersAction) -> None:
         "--backoff-cap", type=float, default=2.0,
         help="max seconds between flush retries while the coordinator is down",
     )
+    serve_parser.add_argument(
+        "--event-log", default=None,
+        help="append structured JSONL events to this file (also honours the "
+        "AN5D_EVENT_LOG environment variable)",
+    )
     _add_cluster_serve_arguments(serve_parser)
     serve_parser.add_argument("--verbose", "-v", action="store_true", help="log requests")
     serve_parser.set_defaults(func=_cmd_serve)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.obs.top import collect, render
+
+    url = args.url.rstrip("/")
+    rows = collect(url, timeout=args.timeout)
+    print(render(rows))
+    if not args.watch:
+        return 0
+    refreshed = 0
+    try:
+        while args.iterations <= 0 or refreshed < args.iterations:
+            refreshed += 1
+            _time.sleep(args.watch)
+            previous, rows = rows, collect(url, timeout=args.timeout)
+            # Clear + home, like top(1); rates come from the scrape deltas.
+            print("\033[2J\033[H", end="")
+            print(render(rows, previous=previous, interval_s=args.watch))
+            sys.stdout.flush()
+    except KeyboardInterrupt:  # pragma: no cover — interactive only
+        pass
+    return 0
+
+
+def _add_top_parser(sub: argparse._SubParsersAction) -> None:
+    top_parser = sub.add_parser(
+        "top",
+        help="cluster-wide throughput/queue/latency view scraped from /metrics",
+    )
+    top_parser.add_argument(
+        "--url", default="http://127.0.0.1:8000",
+        help="any cluster member (or solo server); instances are discovered "
+        "from its /cluster/instances",
+    )
+    top_parser.add_argument(
+        "--watch", type=float, default=0.0, metavar="SECS",
+        help="refresh every SECS seconds (0 = one-shot)",
+    )
+    top_parser.add_argument(
+        "--iterations", type=int, default=0,
+        help="stop after N refreshes in --watch mode (0 = until interrupted)",
+    )
+    top_parser.add_argument("--timeout", type=float, default=5.0, help="scrape timeout")
+    top_parser.set_defaults(func=_cmd_top)
 
 
 # -- cluster subcommands ----------------------------------------------------------
@@ -881,6 +938,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     _add_campaign_parsers(sub)
     _add_serve_parser(sub)
+    _add_top_parser(sub)
     _add_cluster_parsers(sub)
 
     return parser

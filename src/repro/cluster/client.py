@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.campaign.jobs import CampaignSpec
 from repro.campaign.scheduler import ShardPlan
+from repro.obs.trace import TraceContext, context_to_wire
 
 #: HTTP statuses worth retrying: the server-side fault classes (5xx) plus
 #: the three 4xx statuses that describe transient conditions, not requests.
@@ -168,15 +169,33 @@ class ClusterClient:
         return self.get_json(base_url + "/healthz")
 
     def assign(
-        self, base_url: str, spec: CampaignSpec, plan: ShardPlan
+        self,
+        base_url: str,
+        spec: CampaignSpec,
+        plan: ShardPlan,
+        trace: Optional[TraceContext] = None,
     ) -> Dict[str, object]:
-        """Forward one shard assignment to a worker instance."""
+        """Forward one shard assignment to a worker instance.
+
+        ``trace`` rides the envelope (ids only, never timestamps) so the
+        worker's spans join the coordinator's fan-out trace.
+        """
         envelope = {"spec": spec.to_json(), **plan.to_json()}
+        if trace is not None:
+            envelope["trace"] = context_to_wire(trace)
         return self.post_json(base_url + "/campaigns/assigned", envelope)
 
-    def submit(self, base_url: str, spec: CampaignSpec) -> Dict[str, object]:
+    def submit(
+        self,
+        base_url: str,
+        spec: CampaignSpec,
+        trace: Optional[TraceContext] = None,
+    ) -> Dict[str, object]:
         """Submit a whole campaign to a coordinator."""
-        return self.post_json(base_url + "/cluster/campaigns", spec.to_json())
+        envelope = dict(spec.to_json())
+        if trace is not None:
+            envelope["trace"] = context_to_wire(trace)
+        return self.post_json(base_url + "/cluster/campaigns", envelope)
 
     def cluster_status(self, base_url: str) -> Dict[str, object]:
         return self.get_json(base_url + "/cluster/status")

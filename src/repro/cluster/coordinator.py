@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.campaign.jobs import CampaignSpec, shard_of_key
@@ -54,6 +55,8 @@ from repro.campaign.scheduler import CampaignScheduler, ShardPlan
 from repro.campaign.store import ResultStore
 from repro.cluster.client import ClusterClient, ClusterError, ClusterHTTPError
 from repro.cluster.registry import InstanceRegistry, generate_instance_id
+from repro.obs import MetricsRegistry, emit_event, get_registry, span
+from repro.obs.trace import TraceContext, current_trace
 
 #: Submission lifecycle states recorded in the queue.
 SUBMISSION_STATES = ("queued", "dispatched", "done", "failed")
@@ -93,9 +96,11 @@ class ClusterCoordinator:
         client: Optional[ClusterClient] = None,
         instance_id: Optional[str] = None,
         lease_ttl: Optional[float] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.store = store
         self.registry = registry
+        self.metrics = metrics if metrics is not None else get_registry()
         self.client = client or ClusterClient(
             timeout=self.FORWARD_TIMEOUT_S, retries=self.FORWARD_RETRIES
         )
@@ -121,6 +126,11 @@ class ClusterCoordinator:
         # submission (bumped updated_at, possibly via another member)
         # invalidates naturally on every cluster member.
         self._settled_cache: Dict[str, Tuple[float, Dict[str, object]]] = {}
+        # sid -> trace context of the original submission, so a tick()-driven
+        # re-dispatch joins the submit's trace instead of starting a new one.
+        self._traces: Dict[str, Optional[TraceContext]] = {}
+        # Last holds_lease() verdict, to detect acquire/lose transitions.
+        self._lease_held: Optional[bool] = None
 
     def _submission_lock(self, sid: str) -> threading.Lock:
         with self._locks_guard:
@@ -134,10 +144,33 @@ class ClusterCoordinator:
         :meth:`~repro.campaign.store.ResultStore.acquire_lease`): the current
         holder renews, anyone else succeeds only once the lease expired.
         """
-        return self.store.acquire_lease(
+        start = time.perf_counter()
+        held = self.store.acquire_lease(
             self.LEASE_NAME, self.instance_id, self.lease_ttl,
             now=self.registry.clock(),
         )
+        self.metrics.histogram(
+            "lease_renewal_seconds", "Coordinator lease acquire/renew CAS latency"
+        ).observe(time.perf_counter() - start)
+        if held != self._lease_held:
+            previous, self._lease_held = self._lease_held, held
+            if held:
+                # Every acquisition after the first is a failover event: the
+                # previous holder's lease lapsed (or was handed back) and
+                # this standby's CAS won.
+                self.metrics.counter(
+                    "lease_acquisitions_total", "Times this instance won the lease"
+                ).inc()
+                emit_event(
+                    "lease_acquired", instance=self.instance_id,
+                    failover=previous is not None,
+                )
+                if previous is not None:
+                    with span("cluster.failover", instance=self.instance_id):
+                        pass  # marks the takeover instant in the span store
+            elif previous:
+                emit_event("lease_lost", instance=self.instance_id)
+        return held
 
     def lease(self) -> Optional[Dict[str, object]]:
         return self.store.get_lease(self.LEASE_NAME)
@@ -160,6 +193,11 @@ class ClusterCoordinator:
         """
         sid = spec.short_id()
         with self._submission_lock(sid):
+            # Remember the submitting request's trace so later re-dispatches
+            # (tick-driven re-assignment after a worker death) join it.
+            trace = current_trace()
+            if trace is not None or sid not in self._traces:
+                self._traces[sid] = trace
             existing = self.store.get_submission(sid)
             if existing is None or existing["state"] in ("done", "failed"):
                 live = self.registry.live_workers()
@@ -185,12 +223,27 @@ class ClusterCoordinator:
         this pass, so their shards re-home immediately; if no live worker
         remains the submission stays ``queued`` for a later tick.
         """
+        with span(
+            "cluster.fan_out", parent=self._traces.get(sid), submission=sid
+        ) as ctx:
+            self._fan_out_traced(sid, ctx)
+
+    def _fan_out_traced(self, sid: str, trace: TraceContext) -> None:
         row, spec = self._load(sid)
         shards = int(row["shards"])
         assigned: Dict[int, str] = {
             int(r["shard_index"]): str(r["instance_id"])
             for r in self.store.assignment_rows(sid)
         }
+        # Shards that end up on a different owner than this snapshot are
+        # re-assignments (worker death, refused forward) — the counter
+        # ``an5d top``'s REASG column shows.
+        prior_owner = dict(assigned)
+        assign_errors = self.metrics.counter(
+            "cluster_assign_errors_total",
+            "Shard forwards a peer refused or never answered",
+            labels=("error_class",),
+        )
         bad: set = set()
         # Each round either succeeds or marks at least one instance bad, so
         # the loop is bounded by the registry size.
@@ -222,22 +275,45 @@ class ClusterCoordinator:
                     continue
                 plan = ShardPlan(shards, tuple(indices))
                 try:
-                    self.client.assign(instance.url, spec, plan)
+                    self.client.assign(instance.url, spec, plan, trace=trace)
                 except ClusterHTTPError as error:
                     if error.status == 400:
                         # A spec/plan rejection is deterministic: the same
                         # envelope would be refused by every peer, so
                         # retrying elsewhere forever would just hide it.
                         # Fail the submission loudly.
+                        assign_errors.inc(error_class="ClusterHTTPError")
+                        emit_event(
+                            "assignment_rejected", submission=sid,
+                            instance=instance.instance_id, status=error.status,
+                        )
                         self.store.update_submission(sid, "failed")
                         return
                     # Other rejections (404 route missing on an old binary,
                     # 409 wrong role) are instance-specific — route around
                     # that instance like an unreachable one.
+                    assign_errors.inc(error_class="ClusterHTTPError")
                     failures.add(instance.instance_id)
-                except ClusterError:
+                except ClusterError as error:
+                    assign_errors.inc(error_class=type(error).__name__)
                     failures.add(instance.instance_id)
             if not failures:
+                reassigned = sum(
+                    1
+                    for index, owner in assigned.items()
+                    if index in prior_owner and prior_owner[index] != owner
+                )
+                self.metrics.counter(
+                    "cluster_fanout_total", "Shards dispatched to workers"
+                ).inc(len(assigned))
+                if reassigned:
+                    self.metrics.counter(
+                        "cluster_reassign_total",
+                        "Shards moved off their previous (dead/refusing) owner",
+                    ).inc(reassigned)
+                    emit_event(
+                        "shards_reassigned", submission=sid, count=reassigned
+                    )
                 for index, owner in assigned.items():
                     self.store.set_assignment(sid, index, owner)
                 self.store.update_submission(sid, "dispatched")
@@ -407,4 +483,12 @@ class ClusterCoordinator:
                 **lease,
                 "held_by_me": lease["holder"] == self.instance_id,
             }
+        # Coordinator-side aggregation: this member's registry snapshot
+        # (counters/gauges by series, histogram quantiles) so one
+        # /cluster/status answers the whole-cluster dashboards' first
+        # question — dispatch/re-assignment totals — without a scrape pass.
+        payload["observability"] = {
+            "instance": self.instance_id,
+            "metrics": self.metrics.snapshot(),
+        }
         return payload

@@ -52,6 +52,8 @@ from repro.cluster.client import (
     is_retryable,
     post_any,
 )
+from repro.obs import MetricsRegistry, get_registry, record_suppressed
+from repro.obs.trace import context_to_wire, current_trace
 
 #: Seconds between journal flush attempts when the previous one succeeded.
 DEFAULT_FLUSH_INTERVAL = 0.2
@@ -71,6 +73,7 @@ class RemoteStore:
         flush_interval: float = DEFAULT_FLUSH_INTERVAL,
         backoff_cap_s: float = BACKOFF_CAP_S,
         rng: Optional[random.Random] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._primary = url.rstrip("/")
         self._peers: List[str] = []
@@ -78,6 +81,7 @@ class RemoteStore:
         self.client = client or ClusterClient()
         self.flush_interval = float(flush_interval)
         self.backoff_cap_s = float(backoff_cap_s)
+        self.metrics = metrics if metrics is not None else get_registry()
         self._rng = rng or random.Random()
         self._lock = threading.Lock()
         self._pending: List[Dict[str, object]] = []
@@ -88,6 +92,16 @@ class RemoteStore:
         if self.journal is not None:
             self._load_journal()
         self._start_flusher()
+
+    def set_metrics(self, metrics: MetricsRegistry) -> None:
+        """Adopt an instance's registry (a wire store serves one member)."""
+        self.metrics = metrics
+        self._set_journal_gauge(self.pending_count())
+
+    def _set_journal_gauge(self, depth: int) -> None:
+        self.metrics.gauge(
+            "journal_pending", "Results journaled locally, not yet acknowledged"
+        ).set(float(depth))
 
     # -- identity ---------------------------------------------------------------
     @property
@@ -129,6 +143,7 @@ class RemoteStore:
             if isinstance(record, dict) and all(f in record for f in RECORD_FIELDS):
                 records.append(record)
         self._pending = records
+        self._set_journal_gauge(len(records))
 
     def _append_journal(self, record: Dict[str, object]) -> None:
         if self.journal is None:
@@ -166,9 +181,16 @@ class RemoteStore:
         at any point after ``put`` returns cannot lose the result.
         """
         record = make_record(spec, payload, status, elapsed_s, code_version)
+        trace = current_trace()
+        if trace is not None:
+            # The run span's context rides the journal and the commit wire
+            # (the receiver strips it before the row — exports never change).
+            record["trace"] = context_to_wire(trace)
         with self._lock:
             self._append_journal(record)
             self._pending.append(record)
+            depth = len(self._pending)
+        self._set_journal_gauge(depth)
         self._kick.set()
         return str(record["key"])
 
@@ -187,7 +209,9 @@ class RemoteStore:
                 self.urls,
                 lambda url: self.client.result_statuses(url, keys),
             )
-        except ClusterError:
+        except ClusterError as error:
+            # Degraded but correct (the journal answers); never silent.
+            record_suppressed("remote.statuses", error, metrics=self.metrics)
             out = {}
         with self._lock:
             pending = {str(r["key"]): str(r["status"]) for r in self._pending}
@@ -225,6 +249,8 @@ class RemoteStore:
                 self._primary = url
                 self._pending = self._pending[len(batch):]
                 self._rewrite_journal()
+                depth = len(self._pending)
+            self._set_journal_gauge(depth)
             acknowledged += len(batch)
 
     def _flush_loop(self) -> None:
@@ -236,7 +262,7 @@ class RemoteStore:
             try:
                 self.flush()
                 self._flush_failures = 0
-            except ClusterError:
+            except ClusterError as error:
                 # Coordinator gone (or every peer 5xx-ing): back off with
                 # jitter so N workers do not stampede the next coordinator,
                 # but never stop — the journal holds everything meanwhile.
@@ -244,6 +270,13 @@ class RemoteStore:
                     self._flush_failures, cap_s=self.backoff_cap_s, rng=self._rng
                 )
                 self._flush_failures += 1
+                self.metrics.counter(
+                    "flush_failures_total", "Journal flush attempts no peer accepted"
+                ).inc()
+                self.metrics.histogram(
+                    "flush_backoff_seconds", "Backoff delays between flush retries"
+                ).observe(delay)
+                record_suppressed("remote.flush_loop", error, metrics=self.metrics)
                 self._stop.wait(timeout=delay)
 
     def _start_flusher(self) -> None:
@@ -257,8 +290,9 @@ class RemoteStore:
         """Stop the flush loop, attempting one final drain first."""
         try:
             self.flush()
-        except ClusterError:
-            pass  # the journal keeps the leftovers for the next process
+        except ClusterError as error:
+            # The journal keeps the leftovers for the next process.
+            record_suppressed("remote.close", error, metrics=self.metrics)
         self._stop.set()
         self._kick.set()
         if self._thread is not None:
@@ -330,7 +364,9 @@ class RemoteRegistry:
         except (ClusterError, ClusterHTTPError) as error:
             if not is_retryable(error):
                 raise
-            return False  # unreachable: try again next interval
+            # Unreachable: try again next interval — counted, not silent.
+            record_suppressed("remote.heartbeat", error, metrics=self.remote.metrics)
+            return False
         if not answer.get("ok", False) and self._registration is not None:
             answer = self._send(
                 lambda url: self.client.register(url, **self._registration)  # type: ignore[arg-type]
@@ -345,8 +381,10 @@ class RemoteRegistry:
             answer = self._send(
                 lambda url: self.client.deregister(url, instance_id)
             )
-        except ClusterError:
-            return False  # shutting down while the peer is gone — fine
+        except ClusterError as error:
+            # Shutting down while the peer is gone — fine, but accounted.
+            record_suppressed("remote.deregister", error, metrics=self.remote.metrics)
+            return False
         return bool(answer.get("ok", False))
 
 

@@ -38,10 +38,13 @@ layout; callers fall back to the scalar path for those.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.obs import get_registry
 
 from repro.core.config import (
     MAX_THREADS_PER_BLOCK,
@@ -603,6 +606,20 @@ class BatchModelEngine:
     # -- the timing simulator ------------------------------------------------
     def simulate(self, batch: ConfigBatch, traffic: Optional[BatchTraffic] = None) -> BatchMeasurement:
         """Vectorised ``TimingSimulator.simulate`` over every row."""
+        # One gauge write per vectorised *call* (thousands of configs), so
+        # the sweep throughput readout costs nothing measurable.
+        sweep_start = time.perf_counter()
+        try:
+            return self._simulate(batch, traffic)
+        finally:
+            elapsed = time.perf_counter() - sweep_start
+            if elapsed > 0:
+                get_registry().gauge(
+                    "model_configs_per_second",
+                    "Configurations the batched model evaluated per second",
+                ).set(batch.size / elapsed)
+
+    def _simulate(self, batch: ConfigBatch, traffic: Optional[BatchTraffic] = None) -> BatchMeasurement:
         traffic = traffic if traffic is not None else self.traffic(batch)
         gpu = self.gpu
         pattern = self.pattern

@@ -1,0 +1,124 @@
+"""Structured JSONL event logging with one process-wide sink.
+
+Events are small JSON objects — ``{"ts": ..., "event": ..., **fields}`` —
+kept in a bounded in-memory ring (for tests and the ``/healthz`` style
+introspection) and, when a path is configured (``an5d serve --event-log``
+or the ``AN5D_EVENT_LOG`` environment variable), appended to a JSONL file
+one line per event.  The file is the incident-time surface: ``grep`` it by
+``"event"`` or ``"error_class"`` (see the README's Observability section).
+
+Timestamps here are *local* (this process' wall clock, never sent to a
+peer), so the no-timestamps-on-the-wire policy is untouched.
+
+:func:`record_suppressed` is the satellite-1 contract: every retry loop
+that deliberately swallows an exception routes it through here, which
+increments ``errors_swallowed_total{site,error_class}`` and emits an
+``error_suppressed`` event — a swallowed error is never silent again.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+
+class EventLog:
+    """Thread-safe event sink: bounded ring buffer plus optional JSONL file."""
+
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        capacity: int = 1000,
+    ) -> None:
+        self._ring: Deque[Dict[str, object]] = deque(maxlen=int(capacity))
+        self._lock = threading.Lock()
+        self._path: Optional[Path] = None
+        if path:
+            self.configure(path)
+
+    def configure(self, path: Optional[Union[str, Path]]) -> None:
+        """Start (or stop, with ``None``) mirroring events to a JSONL file."""
+        with self._lock:
+            self._path = Path(path) if path else None
+            if self._path is not None:
+                self._path.parent.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def path(self) -> Optional[Path]:
+        with self._lock:
+            return self._path
+
+    def emit(self, event: str, **fields: object) -> Dict[str, object]:
+        """Record one event; returns the record that was written."""
+        record: Dict[str, object] = {"ts": round(time.time(), 3), "event": event}
+        record.update(fields)
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"), default=str)
+        with self._lock:
+            self._ring.append(record)
+            path = self._path
+        if path is not None:
+            try:
+                with path.open("a") as handle:
+                    handle.write(line + "\n")
+            except OSError:
+                pass  # observability must never take the workload down
+        return record
+
+    def tail(self, n: int = 50, event: Optional[str] = None) -> List[Dict[str, object]]:
+        """The most recent ``n`` events (optionally of one kind), oldest first."""
+        with self._lock:
+            records = list(self._ring)
+        if event is not None:
+            records = [record for record in records if record.get("event") == event]
+        return records[-n:]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+
+#: The process-wide sink; honours ``AN5D_EVENT_LOG`` at import.
+EVENTS = EventLog(path=os.environ.get("AN5D_EVENT_LOG") or None)
+
+
+def emit_event(event: str, **fields: object) -> Dict[str, object]:
+    """Emit one structured event on the process-wide sink."""
+    return EVENTS.emit(event, **fields)
+
+
+def record_suppressed(
+    site: str,
+    error: BaseException,
+    metrics: Optional[MetricsRegistry] = None,
+    **fields: object,
+) -> None:
+    """Account for a deliberately swallowed exception (never let it be silent).
+
+    Increments ``errors_swallowed_total{site,error_class}`` on the given
+    registry (default: the process-wide one) and emits an
+    ``error_suppressed`` event carrying the site, error class and message.
+    """
+    error_class = type(error).__name__
+    registry = metrics if metrics is not None else get_registry()
+    registry.counter(
+        "errors_swallowed_total",
+        "Errors swallowed by retry/supervision loops, by site and class",
+        labels=("site", "error_class"),
+    ).inc(site=site, error_class=error_class)
+    emit_event(
+        "error_suppressed",
+        site=site,
+        error_class=error_class,
+        detail=str(error)[:500],
+        **fields,
+    )
+
+
+__all__ = ["EVENTS", "EventLog", "emit_event", "record_suppressed"]

@@ -1,0 +1,167 @@
+"""``an5d top`` — cluster-wide throughput/queue/latency view from ``/metrics``.
+
+One-shot or ``--watch``: discover the live instances from any member's
+``GET /cluster/instances`` (falling back to the given URL for a solo
+server), scrape each instance's ``GET /metrics``, and render one row per
+instance — request totals and p99 latency, per-kind job throughput, queue
+depths (in-flight requests, wire journal) and the coordinator's shard
+re-assignment counter.  In watch mode, rates are computed from the deltas
+between two consecutive scrapes.
+
+Stdlib only (urllib); the parsing/quantile machinery is shared with the
+registry in :mod:`repro.obs.metrics`.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import parse_prometheus, scrape_quantile
+
+Samples = Dict[str, List[Tuple[Dict[str, str], float]]]
+
+
+def _fetch(url: str, timeout: float) -> bytes:
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.read()
+
+
+def discover_instances(url: str, timeout: float = 5.0) -> List[Dict[str, object]]:
+    """Live instances reachable from ``url`` (itself, for a solo server)."""
+    base = url.rstrip("/")
+    try:
+        payload = json.loads(_fetch(base + "/cluster/instances", timeout))
+        instances = [
+            {
+                "id": str(row.get("instance_id", "?")),
+                "role": str(row.get("role", "?")),
+                "url": str(row.get("url", "")),
+                "live": bool(row.get("live", False)),
+            }
+            for row in payload.get("instances", [])
+        ]
+        if instances:
+            return instances
+    except (urllib.error.URLError, OSError, ValueError, KeyError):
+        pass  # not a cluster member (409/404) or unreachable: solo fallback
+    return [{"id": base, "role": "solo", "url": base, "live": True}]
+
+
+def scrape(url: str, timeout: float = 5.0) -> Optional[Samples]:
+    """One instance's parsed ``/metrics`` (None when unreachable)."""
+    try:
+        body = _fetch(url.rstrip("/") + "/metrics", timeout)
+        return parse_prometheus(body.decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError):
+        return None
+
+
+def _series_total(samples: Samples, name: str, **match: str) -> float:
+    total = 0.0
+    for labels, value in samples.get(name, []):
+        if any(labels.get(key) != expected for key, expected in match.items()):
+            continue
+        total += value
+    return total
+
+
+def instance_row(
+    instance: Dict[str, object], samples: Optional[Samples]
+) -> Dict[str, object]:
+    """The numbers one ``top`` row shows for one instance."""
+    row: Dict[str, object] = {
+        "id": instance["id"],
+        "role": instance["role"],
+        "live": instance["live"],
+        "reachable": samples is not None,
+    }
+    if samples is None:
+        return row
+    row.update(
+        {
+            "requests": _series_total(samples, "requests_total"),
+            "req_p99_ms": scrape_quantile(samples, "request_seconds", 0.99) * 1000.0,
+            "in_flight": _series_total(samples, "requests_in_flight"),
+            "jobs_ok": _series_total(samples, "jobs_completed_total", status="ok"),
+            "jobs_failed": _series_total(samples, "jobs_completed_total", status="failed"),
+            "job_p99_ms": scrape_quantile(samples, "job_execution_seconds", 0.99) * 1000.0,
+            "journal": _series_total(samples, "journal_pending"),
+            "reassigned": _series_total(samples, "cluster_reassign_total"),
+            "swallowed": _series_total(samples, "errors_swallowed_total"),
+        }
+    )
+    return row
+
+
+def collect(url: str, timeout: float = 5.0) -> List[Dict[str, object]]:
+    """Scrape every live instance reachable from ``url`` into top rows."""
+    rows = []
+    for instance in discover_instances(url, timeout):
+        samples = scrape(str(instance["url"]), timeout) if instance["live"] else None
+        rows.append(instance_row(instance, samples))
+    return rows
+
+
+def _fmt(value: object, width: int, decimals: int = 0) -> str:
+    if isinstance(value, (int, float)):
+        return f"{value:>{width}.{decimals}f}"
+    return f"{str(value):>{width}}"
+
+
+def render(
+    rows: List[Dict[str, object]],
+    previous: Optional[List[Dict[str, object]]] = None,
+    interval_s: float = 0.0,
+) -> str:
+    """Render top rows as a fixed-width table (plus a cluster totals line).
+
+    With a ``previous`` sample and the interval between the two, the
+    ``req/s`` and ``jobs/s`` columns show real rates; one-shot mode leaves
+    them at 0 (totals are still shown).
+    """
+    before = {row["id"]: row for row in (previous or [])}
+
+    def rate(row: Dict[str, object], field: str) -> float:
+        if interval_s <= 0 or row["id"] not in before:
+            return 0.0
+        delta = float(row.get(field, 0.0)) - float(before[row["id"]].get(field, 0.0))
+        return max(0.0, delta) / interval_s
+
+    header = (
+        f"{'INSTANCE':<18} {'ROLE':<12} {'LIVE':<5} "
+        f"{'REQS':>8} {'REQ/S':>7} {'P99MS':>8} {'INFLT':>6} "
+        f"{'JOBS✓':>8} {'JOBS✗':>6} {'JOB/S':>7} {'JRNL':>6} {'REASG':>6} {'SWLW':>5}"
+    )
+    lines = [header, "-" * len(header)]
+    totals = {"requests": 0.0, "jobs_ok": 0.0, "jobs_failed": 0.0, "reassigned": 0.0}
+    for row in rows:
+        if not row.get("reachable"):
+            lines.append(
+                f"{str(row['id'])[:18]:<18} {str(row['role'])[:12]:<12} "
+                f"{'yes' if row['live'] else 'no':<5} {'(unreachable)':>8}"
+            )
+            continue
+        for key in totals:
+            totals[key] += float(row.get(key, 0.0))
+        lines.append(
+            f"{str(row['id'])[:18]:<18} {str(row['role'])[:12]:<12} "
+            f"{'yes' if row['live'] else 'no':<5} "
+            f"{_fmt(row['requests'], 8)} {_fmt(rate(row, 'requests'), 7, 1)} "
+            f"{_fmt(row['req_p99_ms'], 8, 2)} {_fmt(row['in_flight'], 6)} "
+            f"{_fmt(row['jobs_ok'], 8)} {_fmt(row['jobs_failed'], 6)} "
+            f"{_fmt(rate(row, 'jobs_ok'), 7, 1)} {_fmt(row['journal'], 6)} "
+            f"{_fmt(row['reassigned'], 6)} {_fmt(row['swallowed'], 5)}"
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"cluster: {len(rows)} instance(s)  requests={totals['requests']:.0f}  "
+        f"jobs_ok={totals['jobs_ok']:.0f}  jobs_failed={totals['jobs_failed']:.0f}  "
+        f"reassigned={totals['reassigned']:.0f}"
+    )
+    return "\n".join(lines)
+
+
+__all__ = ["collect", "discover_instances", "instance_row", "render", "scrape"]

@@ -34,21 +34,25 @@ from repro.campaign.store import ResultStore
 from repro.cluster.coordinator import ClusterCoordinator
 from repro.cluster.registry import ClusterConfig, InstanceRegistry
 from repro.cluster.remote import RemoteStore
+from repro.obs import SPANS, MetricsRegistry, record_suppressed, span
 from repro.service.routes import Request, Response, dispatch, route_table
 from repro.service.worker import CampaignWorker, WorkerSettings
 from repro.service.wire import (
     JSONL_TYPE,
     WireError,
     decode_assignment,
-    decode_campaign_spec,
     decode_instance_id,
     decode_member,
     decode_result_records,
     decode_status_query,
+    decode_submit,
     etag,
     render_table,
     spec_summary,
 )
+
+#: Prometheus text exposition content type served by ``GET /metrics``.
+METRICS_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class CampaignApp:
@@ -59,10 +63,22 @@ class CampaignApp:
         store: Union[str, Path, ResultStore, RemoteStore] = "campaign.sqlite",
         settings: Optional[WorkerSettings] = None,
         cluster: Optional[ClusterConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
+        # Each app gets its *own* registry by default (injectable, like the
+        # cluster layer's clocks): in-process multi-instance topologies then
+        # serve genuinely per-instance /metrics, and tests assert exact counts.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._owns_store = not isinstance(store, (ResultStore, RemoteStore))
-        self.store = ResultStore(store) if self._owns_store else store
-        self.worker = CampaignWorker(self.store, settings)
+        if self._owns_store:
+            self.store = ResultStore(store, metrics=self.metrics)
+        else:
+            self.store = store
+            if isinstance(store, RemoteStore):
+                # A wire store serves exactly one member; its journal gauge
+                # and flush histograms belong on this instance's /metrics.
+                store.set_metrics(self.metrics)
+        self.worker = CampaignWorker(self.store, settings, metrics=self.metrics)
         self.cluster = cluster
         self.registry = None  # InstanceRegistry | RemoteRegistry
         self.coordinator: Optional[ClusterCoordinator] = None
@@ -97,6 +113,7 @@ class CampaignApp:
                 self.registry,
                 instance_id=cluster.instance_id,
                 lease_ttl=cluster.liveness_timeout,
+                metrics=self.metrics,
             )
 
     @property
@@ -148,15 +165,21 @@ class CampaignApp:
         while not self._cluster_stop.wait(self.cluster.heartbeat_interval):
             try:
                 self.registry.heartbeat(self.cluster.instance_id)
-            except Exception:  # noqa: BLE001 — a missed beat is not fatal
-                pass
+            except Exception as error:  # noqa: BLE001 — a missed beat is not fatal
+                record_suppressed(
+                    "app.heartbeat_loop", error, metrics=self.metrics,
+                    instance=self.cluster.instance_id,
+                )
 
     def _monitor_loop(self) -> None:
         while not self._cluster_stop.wait(self.cluster.heartbeat_interval):
             try:
                 self.coordinator.tick()
-            except Exception:  # noqa: BLE001 — supervision must keep running
-                pass
+            except Exception as error:  # noqa: BLE001 — supervision must keep running
+                record_suppressed(
+                    "app.monitor_loop", error, metrics=self.metrics,
+                    instance=self.cluster.instance_id,
+                )
 
     def _stop_cluster(self, deregister: bool) -> None:
         self._cluster_stop.set()
@@ -169,12 +192,18 @@ class CampaignApp:
                 # immediately instead of waiting out the TTL.
                 try:
                     self.coordinator.release_lease()
-                except Exception:  # noqa: BLE001 — the store may already be gone
-                    pass
+                except Exception as error:  # noqa: BLE001 — the store may already be gone
+                    record_suppressed(
+                        "app.release_lease", error, metrics=self.metrics,
+                        instance=self.cluster.instance_id,
+                    )
             try:
                 self.registry.deregister(self.cluster.instance_id)
-            except Exception:  # noqa: BLE001 — the store may already be gone
-                pass
+            except Exception as error:  # noqa: BLE001 — the store may already be gone
+                record_suppressed(
+                    "app.deregister", error, metrics=self.metrics,
+                    instance=self.cluster.instance_id,
+                )
 
     def close(self) -> None:
         # A graceful shutdown leaves the registry (the cluster's
@@ -228,23 +257,44 @@ class CampaignApp:
             }
         return Response.json(payload)
 
+    def metrics_endpoint(self, request: Request) -> Response:
+        """This instance's registry in Prometheus text exposition format."""
+        return Response(
+            body=self.metrics.render().encode("utf-8"), content_type=METRICS_TYPE
+        )
+
+    def trace_endpoint(self, request: Request, tid: str) -> Response:
+        """The span tree this process recorded for one trace id."""
+        tree = SPANS.tree(tid)
+        if tree is None:
+            raise WireError(f"unknown trace {tid!r}", status=404)
+        return Response.json(tree)
+
     def submit_campaign(self, request: Request) -> Response:
-        spec = decode_campaign_spec(request.body)
-        record = self.worker.submit(spec)
+        spec, trace = decode_submit(request.body)
+        with span("campaign.submit", parent=trace, campaign=spec.short_id()) as ctx:
+            record = self.worker.submit(spec, trace=ctx)
         payload = {
             "id": record.id,
             "state": record.state,
             "runs": record.runs,
             "jobs": spec.size(),
             "url": f"/campaigns/{record.id}",
+            "trace_id": ctx.trace_id,
             **spec_summary(spec),
         }
         return Response.json(payload, status=202)
 
     def assigned_campaign(self, request: Request) -> Response:
         """Coordinator forwarding target: run one shard plan of a campaign."""
-        spec, plan = decode_assignment(request.body)
-        record = self.worker.submit(spec, plan=plan)
+        spec, plan, trace = decode_assignment(request.body)
+        with span(
+            "campaign.assigned",
+            parent=trace,
+            campaign=spec.short_id(),
+            shard=plan.describe(),
+        ) as ctx:
+            record = self.worker.submit(spec, plan=plan, trace=ctx)
         payload = {
             "id": record.id,
             "state": record.state,
@@ -252,6 +302,7 @@ class CampaignApp:
             "shard_plan": plan.to_json(),
             "jobs": len(self.worker.job_keys(record.id) or ()),
             "url": f"/campaigns/{record.id}",
+            "trace_id": ctx.trace_id,
         }
         return Response.json(payload, status=202)
 
@@ -340,9 +391,15 @@ class CampaignApp:
         absorbed without changing what an export will say.
         """
         store = self._require_store_native()
-        records = decode_result_records(request.body)
+        records, trace = decode_result_records(request.body)
         now = self.registry.clock() if isinstance(self.registry, InstanceRegistry) else None
-        written = store.commit_records(records, now=now)
+        if trace is not None:
+            # The sender's run span rode the envelope; the commit itself is
+            # a receiver-side child span (duration on *our* clock).
+            with span("results.commit", parent=trace, records=len(records)):
+                written = store.commit_records(records, now=now)
+        else:
+            written = store.commit_records(records, now=now)
         return Response.json(
             {"ok": True, "received": len(records), "committed": written}
         )
@@ -426,9 +483,11 @@ class CampaignApp:
 
     def cluster_submit(self, request: Request) -> Response:
         coordinator = self._require_coordinator()
-        spec = decode_campaign_spec(request.body)
-        payload = coordinator.submit(spec)
+        spec, trace = decode_submit(request.body)
+        with span("cluster.submit", parent=trace, campaign=spec.short_id()) as ctx:
+            payload = coordinator.submit(spec)
         payload["url"] = f"/cluster/campaigns/{payload['id']}"
+        payload["trace_id"] = ctx.trace_id
         return Response.json(payload, status=202)
 
     def _submission_keys(self, sid: str) -> List[str]:

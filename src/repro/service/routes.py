@@ -9,6 +9,10 @@ Endpoints
 
 ``GET  /healthz``
     Liveness probe: store path and campaign counts.
+``GET  /metrics``
+    This instance's metrics registry in Prometheus text format.
+``GET  /trace/{trace_id}``
+    The span tree this process recorded for one trace id (JSON).
 ``POST /campaigns``
     Submit a campaign spec (JSON); returns its id (202).
 ``POST /campaigns/assigned``
@@ -50,6 +54,7 @@ Endpoints
 from __future__ import annotations
 
 import re
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -93,6 +98,8 @@ _ROUTES: Tuple[Tuple[str, "re.Pattern[str]", str], ...] = tuple(
     (method, re.compile(pattern), handler)
     for method, pattern, handler in (
         ("GET", r"^/healthz$", "health"),
+        ("GET", r"^/metrics$", "metrics_endpoint"),
+        ("GET", r"^/trace/(?P<tid>[0-9a-f]+)$", "trace_endpoint"),
         ("POST", r"^/campaigns$", "submit_campaign"),
         ("GET", r"^/campaigns$", "list_campaigns"),
         # /campaigns/assigned must precede the {cid} capture routes.
@@ -115,27 +122,86 @@ _ROUTES: Tuple[Tuple[str, "re.Pattern[str]", str], ...] = tuple(
 )
 
 
+def _call(app: object, handler_name: str, request: Request, params: Dict[str, str]) -> Tuple[Response, Optional[str]]:
+    """Invoke one handler; returns (response, error class when it failed)."""
+    handler: Callable[..., Response] = getattr(app, handler_name)
+    try:
+        return handler(request, **params), None
+    except WireError as error:
+        return Response.error(str(error), status=error.status), "WireError"
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args and isinstance(error.args[0], str) else error
+        return Response.error(str(message), status=400), type(error).__name__
+
+
 def dispatch(app: object, request: Request) -> Response:
-    """Route one request to the app, mapping failures to JSON errors."""
+    """Route one request to the app, mapping failures to JSON errors.
+
+    When the app carries a :class:`~repro.obs.metrics.MetricsRegistry` (as
+    ``app.metrics``), every request is accounted here — the route label is
+    the *handler name*, never the raw path, so label cardinality is bounded
+    by the route table: ``requests_total{route,method,code}``,
+    ``request_seconds{route}``, ``request_errors_total{route,error_class}``
+    and the ``requests_in_flight`` gauge.
+    """
+    handler_name = "unmatched"
     matched_path = False
-    for method, pattern, handler_name in _ROUTES:
+    params: Dict[str, str] = {}
+    for method, pattern, name in _ROUTES:
         match = pattern.match(request.path)
         if match is None:
             continue
         matched_path = True
         if method != request.method:
             continue
-        handler: Callable[..., Response] = getattr(app, handler_name)
-        try:
-            return handler(request, **match.groupdict())
-        except WireError as error:
-            return Response.error(str(error), status=error.status)
-        except (KeyError, ValueError) as error:
-            message = error.args[0] if error.args and isinstance(error.args[0], str) else error
-            return Response.error(str(message), status=400)
-    if matched_path:
-        return Response.error(f"method {request.method} not allowed here", status=405)
-    return Response.error(f"no route for {request.path}", status=404)
+        handler_name, params = name, match.groupdict()
+        break
+    registry = getattr(app, "metrics", None)
+    if registry is None:
+        if handler_name != "unmatched":
+            return _call(app, handler_name, request, params)[0]
+        if matched_path:
+            return Response.error(f"method {request.method} not allowed here", status=405)
+        return Response.error(f"no route for {request.path}", status=404)
+
+    in_flight = registry.gauge("requests_in_flight", "Requests being handled right now")
+    requests_total = registry.counter(
+        "requests_total", "Requests handled, by route/method/status",
+        labels=("route", "method", "code"),
+    )
+    latency = registry.histogram(
+        "request_seconds", "Request handling latency by route", labels=("route",)
+    )
+    errors = registry.counter(
+        "request_errors_total", "Requests that failed, by route and error class",
+        labels=("route", "error_class"),
+    )
+    in_flight.inc()
+    start = time.perf_counter()
+    error_class: Optional[str] = None
+    status = 500
+    try:
+        if handler_name != "unmatched":
+            response, error_class = _call(app, handler_name, request, params)
+        elif matched_path:
+            response = Response.error(
+                f"method {request.method} not allowed here", status=405
+            )
+        else:
+            response = Response.error(f"no route for {request.path}", status=404)
+        status = response.status
+        return response
+    except Exception as error:  # noqa: BLE001 — counted, then 500s upstream
+        error_class = type(error).__name__
+        raise
+    finally:
+        in_flight.dec()
+        latency.observe(time.perf_counter() - start, route=handler_name)
+        requests_total.inc(route=handler_name, method=request.method, code=str(status))
+        if error_class is None and status >= 500:
+            error_class = "InternalError"
+        if error_class is not None:
+            errors.inc(route=handler_name, error_class=error_class)
 
 
 def route_table() -> List[str]:

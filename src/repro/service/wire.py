@@ -15,12 +15,13 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.campaign.jobs import CampaignSpec, JobSpec
 from repro.campaign.scheduler import ShardPlan
 from repro.campaign.store import RECORD_FIELDS
 from repro.cluster.registry import ROLES
+from repro.obs.trace import TraceContext, context_from_wire
 from repro.reporting import ResultTable
 
 #: Media types used by the service responses.
@@ -71,20 +72,48 @@ def _campaign_spec_from_json(data: object) -> CampaignSpec:
         raise WireError(f"invalid campaign spec: {message}") from None
 
 
+def _pop_trace(data: object) -> Tuple[object, Optional[TraceContext]]:
+    """Split the optional ``"trace"`` envelope field off a request mapping.
+
+    The trace context rides the envelope *next to* the content-addressed
+    payload, never inside it: stripping it here (before any spec decoding)
+    is what keeps campaign ids and job keys independent of tracing.  The
+    field itself is strict — only ``trace_id``/``span_id``, no timestamps
+    (see :func:`repro.obs.trace.context_from_wire`) — and a malformed one
+    is a 400 like any other envelope error.
+    """
+    if not isinstance(data, Mapping) or "trace" not in data:
+        return data, None
+    try:
+        trace = context_from_wire(data["trace"])
+    except ValueError as error:
+        raise WireError(str(error)) from None
+    return {k: v for k, v in data.items() if k != "trace"}, trace
+
+
+def decode_submit(body: bytes) -> Tuple[CampaignSpec, Optional[TraceContext]]:
+    """Decode a submitted campaign spec plus its optional trace envelope."""
+    data, trace = _pop_trace(decode_json(body))
+    return _campaign_spec_from_json(data), trace
+
+
 def decode_campaign_spec(body: bytes) -> CampaignSpec:
     """Decode and validate a submitted campaign spec (strict, alias-safe)."""
-    return _campaign_spec_from_json(decode_json(body))
+    return decode_submit(body)[0]
 
 
-def decode_assignment(body: bytes) -> Tuple[CampaignSpec, ShardPlan]:
+def decode_assignment(
+    body: bytes,
+) -> Tuple[CampaignSpec, ShardPlan, Optional[TraceContext]]:
     """Decode a coordinator shard assignment: a spec plus its shard plan.
 
-    The envelope is ``{"spec": {...}, "shards": N, "shard_indices": [...]}``.
+    The envelope is ``{"spec": {...}, "shards": N, "shard_indices": [...]}``
+    with an optional ``"trace"`` context (the coordinator's fan-out span).
     Both halves validate here, at the wire — a malformed shard plan (index
     out of range, zero shards, non-integer fields) is a structured 400, not
     a 500 thrown later out of the worker loop.
     """
-    data = decode_json(body)
+    data, trace = _pop_trace(decode_json(body))
     if not isinstance(data, Mapping):
         raise WireError("assignment must be a JSON object")
     unknown = sorted(set(data) - {"spec", "shards", "shard_indices"})
@@ -100,7 +129,7 @@ def decode_assignment(body: bytes) -> Tuple[CampaignSpec, ShardPlan]:
     except (TypeError, ValueError) as error:
         message = error.args[0] if error.args and isinstance(error.args[0], str) else error
         raise WireError(f"invalid shard plan: {message}") from None
-    return spec, plan
+    return spec, plan, trace
 
 
 def decode_job_spec(data: Mapping[str, object]) -> JobSpec:
@@ -112,13 +141,19 @@ def decode_job_spec(data: Mapping[str, object]) -> JobSpec:
         raise WireError(f"invalid job spec: {message}") from None
 
 
-def decode_result_records(body: bytes) -> List[Dict[str, object]]:
+def decode_result_records(
+    body: bytes,
+) -> Tuple[List[Dict[str, object]], Optional[TraceContext]]:
     """Decode a ``POST /results/commit`` batch: one JSON record per line.
 
     Every record must carry exactly the store's :data:`RECORD_FIELDS` — in
     particular **no** ``created_at``: commit timestamps are stamped by the
     receiving store, never trusted from the sender (same clock policy as
-    heartbeats).  Malformed batches are a 400 with the offending line.
+    heartbeats).  A record may additionally carry a ``"trace"`` envelope
+    (the sending worker's run span); it is stripped here — trace context
+    never reaches the store rows, so exports stay byte-identical — and the
+    first one found is returned for the receiver's commit span.  Malformed
+    batches are a 400 with the offending line.
     """
     if not body:
         raise WireError("commit body must be JSONL (one result record per line)")
@@ -127,6 +162,7 @@ def decode_result_records(body: bytes) -> List[Dict[str, object]]:
     except UnicodeDecodeError as error:
         raise WireError(f"commit body is not UTF-8: {error}") from None
     records: List[Dict[str, object]] = []
+    trace: Optional[TraceContext] = None
     for number, line in enumerate(text.splitlines(), start=1):
         line = line.strip()
         if not line:
@@ -137,6 +173,10 @@ def decode_result_records(body: bytes) -> List[Dict[str, object]]:
             raise WireError(f"commit line {number} is not JSON: {error}") from None
         if not isinstance(record, Mapping):
             raise WireError(f"commit line {number} must be a JSON object")
+        if "trace" in record:
+            record, line_trace = _pop_trace(record)
+            if trace is None:
+                trace = line_trace
         missing = sorted(set(RECORD_FIELDS) - set(record))
         if missing:
             raise WireError(
@@ -150,7 +190,7 @@ def decode_result_records(body: bytes) -> List[Dict[str, object]]:
         records.append(dict(record))
     if not records:
         raise WireError("commit body holds no result records")
-    return records
+    return records, trace
 
 
 def decode_status_query(body: bytes) -> List[str]:

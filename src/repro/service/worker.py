@@ -29,12 +29,15 @@ from __future__ import annotations
 import asyncio
 import itertools
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.campaign.jobs import CampaignSpec
 from repro.campaign.scheduler import CampaignOutcome, CampaignScheduler, ShardPlan
 from repro.campaign.store import ResultStore
+from repro.obs import MetricsRegistry, emit_event, get_registry, record_suppressed, span
+from repro.obs.trace import TraceContext
 from repro.service.wire import campaign_id
 
 #: Campaign lifecycle states reported by the status endpoint.
@@ -53,6 +56,11 @@ class CampaignRecord:
     plan: Optional[ShardPlan] = None  # None = the worker's default slice
     outcome: Optional[CampaignOutcome] = None
     error: Optional[str] = None
+    # Trace context of the submitting request.  Carried explicitly because
+    # run_in_executor does not propagate contextvars — the run span below
+    # re-establishes it on the executor thread.
+    trace: Optional[TraceContext] = None
+    enqueued_at: float = 0.0  # perf_counter at (re-)submit, for queue-wait
     # Re-submitting an in-flight campaign under a widened plan enqueues the
     # record again; this lock serialises the two scheduler runs so they never
     # execute the overlapping slice concurrently.
@@ -93,9 +101,15 @@ class WorkerSettings:
 class CampaignWorker:
     """Drains submitted campaigns through the scheduler on an asyncio loop."""
 
-    def __init__(self, store: ResultStore, settings: Optional[WorkerSettings] = None) -> None:
+    def __init__(
+        self,
+        store: ResultStore,
+        settings: Optional[WorkerSettings] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.store = store
         self.settings = settings or WorkerSettings()
+        self.metrics = metrics if metrics is not None else get_registry()
         # Validate shard settings up front: a bad ``--shards/--shard`` pair
         # must fail at construction, not as a 500 out of the worker loop.
         self._default_plan = self.settings.plan()
@@ -130,8 +144,9 @@ class CampaignWorker:
             return True
         try:
             self._loop.call_soon_threadsafe(self._queue.put_nowait, None)
-        except RuntimeError:
-            pass  # loop already closed (e.g. after kill())
+        except RuntimeError as error:
+            # Loop already closed (e.g. after kill()) — fine, but accounted.
+            record_suppressed("worker.stop", error, metrics=self.metrics)
         self._thread.join(timeout)
         if self._thread.is_alive():
             return False
@@ -185,6 +200,12 @@ class CampaignWorker:
                     return
                 record.state = "running"
                 spec, plan, seq = record.spec, record.plan, record.runs
+                enqueued_at = record.enqueued_at
+            if enqueued_at:
+                self.metrics.histogram(
+                    "campaign_queue_wait_seconds",
+                    "Time campaigns wait between submit and execution start",
+                ).observe(time.perf_counter() - enqueued_at)
             loop = asyncio.get_running_loop()
             try:
                 # The scheduler blocks (NumPy, SQLite, mp pool), so it runs on
@@ -192,6 +213,17 @@ class CampaignWorker:
                 # campaigns and to answer nothing — HTTP threads never enter it.
                 outcome = await loop.run_in_executor(None, self._execute, record, spec, plan)
             except Exception as error:  # noqa: BLE001 — surfaced via status
+                self.metrics.counter(
+                    "campaign_failures_total",
+                    "Campaign runs that raised out of the scheduler",
+                    labels=("error_class",),
+                ).inc(error_class=type(error).__name__)
+                emit_event(
+                    "campaign_failed",
+                    campaign=record.id,
+                    error_class=type(error).__name__,
+                    detail=str(error)[:500],
+                )
                 with self._lock:
                     if record.runs == seq:
                         record.state = "failed"
@@ -204,6 +236,15 @@ class CampaignWorker:
                     record.outcome = outcome
                     record.error = None
                     record.state = "done" if outcome.ok else "failed"
+            emit_event(
+                "campaign_run_finished",
+                campaign=record.id,
+                ok=outcome.ok,
+                executed=outcome.executed,
+                cached=outcome.cached,
+                failed=outcome.failed,
+                duration_s=round(outcome.duration_s, 3),
+            )
 
     def _scheduler(
         self, spec: CampaignSpec, plan: Optional[ShardPlan] = None
@@ -218,6 +259,7 @@ class CampaignWorker:
             timeout=self.settings.timeout,
             retries=self.settings.retries,
             plan=plan if plan is not None else self._default_plan,
+            metrics=self.metrics,
         )
 
     def _execute(
@@ -226,12 +268,19 @@ class CampaignWorker:
         # Runs on an executor thread: the shared store hands this thread its
         # own SQLite connection (one writer per connection).  The record lock
         # serialises overlapping runs of one campaign (plan re-assignment).
+        # The span re-establishes the submitting request's trace context on
+        # this thread (run_in_executor drops contextvars), so wire commits
+        # issued inside the scheduler inherit it.
         with record.run_lock:
-            return self._scheduler(spec, plan).run()
+            with span("campaign.run", parent=record.trace, campaign=record.id):
+                return self._scheduler(spec, plan).run()
 
     # -- submission / inspection ----------------------------------------------
     def submit(
-        self, spec: CampaignSpec, plan: Optional[ShardPlan] = None
+        self,
+        spec: CampaignSpec,
+        plan: Optional[ShardPlan] = None,
+        trace: Optional[TraceContext] = None,
     ) -> CampaignRecord:
         """Enqueue a campaign; idempotent while an equal (spec, plan) is in flight.
 
@@ -256,7 +305,18 @@ class CampaignWorker:
             else:
                 record.plan = plan
                 record.state = "queued"
+            if trace is not None:
+                record.trace = trace
+            record.enqueued_at = time.perf_counter()
             record.runs += 1
+            run = record.runs
+        emit_event(
+            "campaign_submitted",
+            campaign=cid,
+            run=run,
+            sharded=plan is not None,
+            traced=trace is not None,
+        )
         self._loop.call_soon_threadsafe(self._queue.put_nowait, record)
         return record
 

@@ -165,7 +165,7 @@ class StubClient:
         self.unreachable = set()
         self.rejecting = {}  # url -> HTTP status
 
-    def assign(self, url, spec, plan):
+    def assign(self, url, spec, plan, trace=None):
         if url in self.unreachable:
             raise ClusterError(f"unreachable peer {url}")
         if url in self.rejecting:
@@ -311,8 +311,9 @@ def test_coordinator_with_no_workers_keeps_submission_queued(coordinated):
 def test_decode_assignment_maps_shard_errors_to_400():
     spec_json = PREDICT_SPEC.to_json()
     good = json.dumps({"spec": spec_json, "shards": 3, "shard_indices": [1, 2]})
-    spec, plan = decode_assignment(good.encode())
+    spec, plan, trace = decode_assignment(good.encode())
     assert spec == PREDICT_SPEC and plan == ShardPlan(3, (1, 2))
+    assert trace is None
     for envelope, fragment in (
         ({"spec": spec_json, "shards": 0}, "at least 1"),
         ({"spec": spec_json, "shards": 2, "shard_indices": [2]}, "lie in"),

@@ -475,3 +475,114 @@ def test_graceful_shutdown_hands_the_lease_to_a_standby(tmp_path):
                 break
             time.sleep(0.05)
         assert cluster.store.get_lease("coordinator")["holder"] == survivor_id
+
+
+# -- observability under faults (PR 7 acceptance) -------------------------------------
+
+
+def test_chaos_campaign_is_fully_observable(tmp_path):
+    """The telemetry spine under fire: a wire-worker cluster with injected
+    faults and a mid-campaign worker kill yields (a) per-instance /metrics
+    with per-route and per-job-kind histograms, (b) one trace id linking
+    submit -> fan-out -> shard assignment -> run -> commit across the wire,
+    (c) ``an5d top`` rows showing the re-assignment, and (d) an export still
+    byte-identical to a solo run."""
+    import threading
+
+    from repro.obs import TraceContext, new_span_id, new_trace_id, parse_prometheus
+    from repro.obs import top as obs_top
+
+    client = ClusterClient()
+    trace = TraceContext(trace_id=new_trace_id(), span_id=new_span_id())
+    with LocalCluster(
+        store=tmp_path / "observed.sqlite",
+        instances=2,
+        standbys=0,
+        wire_workers=True,
+        faults=FaultPlan(drop=0.1, duplicate=0.05, seed=7),
+        workdir=tmp_path,
+    ) as cluster:
+        victim = cluster.workers[0]
+        release = threading.Event()
+        original_execute = victim.app.worker._execute
+
+        def blocked_execute(record, spec, plan):
+            # Park the victim's shard until the test lets go: its shard is
+            # deterministically incomplete when the victim is killed, so the
+            # coordinator *must* re-home it (first fan-out never counts).
+            release.wait(timeout=120)
+            return original_execute(record, spec, plan)
+
+        victim.app.worker._execute = blocked_execute
+        try:
+            submitted = client.submit(cluster.url, PREDICT_SPEC, trace=trace)
+            assert submitted["trace_id"] == trace.trace_id
+            kill_instance(victim)  # crash-stop: heartbeats cease, shard orphans
+            status = _wait_submission(client, cluster.url, submitted["id"])
+        finally:
+            release.set()
+        assert status["state"] == "done"
+        assert status["jobs"]["done"] == PREDICT_SPEC.size()
+
+        # (a) per-instance /metrics: the coordinator counts the re-homing...
+        _, body = client.request(f"{cluster.url}/metrics")
+        coord = parse_prometheus(body.decode("utf-8"))
+        assert sum(v for _, v in coord["cluster_reassign_total"]) >= 1
+        assert sum(v for _, v in coord["cluster_fanout_total"]) >= 2
+        routes = {labels["route"] for labels, _ in coord["requests_total"]}
+        assert "cluster_submit" in routes
+        assert any(
+            labels["route"] == "cluster_submit"
+            for labels, _ in coord["request_seconds_bucket"]
+        )
+        # ...and the surviving worker ran jobs of the campaign's kind.
+        survivor = cluster.workers[1]
+        _, body = client.request(f"{survivor.url}/metrics")
+        worker_samples = parse_prometheus(body.decode("utf-8"))
+        ok_jobs = sum(
+            v
+            for labels, v in worker_samples["jobs_completed_total"]
+            if labels["kind"] == "predict" and labels["status"] == "ok"
+        )
+        assert ok_jobs == PREDICT_SPEC.size()  # the survivor ran every shard
+        assert any(
+            labels["kind"] == "predict"
+            for labels, _ in worker_samples["job_execution_seconds_bucket"]
+        )
+
+        # (b) one trace id spans the whole distributed path.
+        _, body = client.request(f"{cluster.url}/trace/{trace.trace_id}")
+        tree = json.loads(body)
+        assert tree["trace_id"] == trace.trace_id
+        spans = tree["spans"]
+        assert all(s["trace_id"] == trace.trace_id for s in spans)
+        names = {s["name"] for s in spans}
+        assert {
+            "cluster.submit",
+            "cluster.fan_out",
+            "campaign.assigned",
+            "campaign.run",
+            "results.commit",
+        } <= names
+        by_id = {s["span_id"]: s for s in spans}
+        submit_span = next(s for s in spans if s["name"] == "cluster.submit")
+        assert submit_span["parent_span_id"] == trace.span_id
+        for name, parent_name in (
+            ("cluster.fan_out", "cluster.submit"),
+            ("campaign.assigned", "cluster.fan_out"),
+            ("campaign.run", "campaign.assigned"),
+        ):
+            child = next(s for s in spans if s["name"] == name)
+            assert by_id[child["parent_span_id"]]["name"] == parent_name
+
+        # (c) `an5d top` sees the cluster: live rows plus the counted re-home.
+        rows = obs_top.collect(cluster.url)
+        assert len(rows) == 3  # coordinator + 2 workers (one of them dead)
+        assert sum(float(row.get("reassigned", 0)) for row in rows) >= 1
+        assert any(not row["reachable"] for row in rows)  # the killed victim
+        screen = obs_top.render(rows)
+        assert "REASG" in screen and "cluster:" in screen
+
+        # (d) the export is still byte-identical to a solo run.
+        exported = client.export(cluster.url, submitted["id"])
+    assert exported == _solo_export(tmp_path)

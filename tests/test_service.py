@@ -340,3 +340,77 @@ def test_app_handlers_work_without_http(tmp_path):
         assert len(b"".join(export.stream).splitlines()) == 2
     finally:
         app.close()
+
+
+# -- observability: /metrics, wire-propagated traces ----------------------------------
+
+
+def test_metrics_endpoint_serves_parseable_prometheus(server):
+    from repro.obs import parse_prometheus
+
+    cid = _submit(server)["id"]
+    _poll_done(server, cid)
+    status, body, headers = _request(server, "/metrics")
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/plain")
+    samples = parse_prometheus(body.decode("utf-8"))
+
+    routes = {labels["route"] for labels, _ in samples["requests_total"]}
+    assert {"submit_campaign", "campaign_status"} <= routes
+    codes = {labels["code"] for labels, _ in samples["requests_total"]}
+    assert {"202", "200"} <= codes
+    assert sum(v for _, v in samples["requests_total"]) >= 3
+
+    # Per-route latency histogram and per-kind job metrics from the run.
+    assert any(l["route"] == "submit_campaign" for l, _ in samples["request_seconds_bucket"])
+    done = {
+        l["kind"]: v for l, v in samples["jobs_completed_total"] if l["status"] == "ok"
+    }
+    assert done.get("tune", 0) == len(SPEC_JSON["benchmarks"])
+    assert any(v > 0 for _, v in samples["store_commit_seconds_count"])
+
+
+def test_wire_trace_propagates_from_submit_to_job_spans(server):
+    from repro.obs import TraceContext, context_to_wire, new_span_id, new_trace_id
+
+    trace = TraceContext(trace_id=new_trace_id(), span_id=new_span_id())
+    envelope = dict(SPEC_JSON)
+    envelope["trace"] = context_to_wire(trace)
+    status, body, _ = _request(server, "/campaigns", method="POST", data=envelope)
+    assert status == 202
+    submitted = json.loads(body)
+    assert submitted["trace_id"] == trace.trace_id
+    _poll_done(server, submitted["id"])
+
+    # The trace envelope rides next to the payload, never inside it: the
+    # campaign id must be identical to a traceless submit of the same spec.
+    assert _submit(server)["id"] == submitted["id"]
+
+    _, body, _ = _request(server, f"/trace/{trace.trace_id}")
+    tree = json.loads(body)
+    assert tree["trace_id"] == trace.trace_id
+    spans = {s["name"]: s for s in tree["spans"]}
+    assert {"campaign.submit", "campaign.run"} <= set(spans)
+    # The submit span joins the client's trace; the runs hang off the submit.
+    assert spans["campaign.submit"]["parent_span_id"] == trace.span_id
+    assert spans["campaign.run"]["parent_span_id"] == spans["campaign.submit"]["span_id"]
+    assert all(s["trace_id"] == trace.trace_id for s in tree["spans"])
+
+
+def test_malformed_trace_envelopes_are_400(server):
+    good = {"trace_id": "ab" * 16, "span_id": "cd" * 8}
+    for bad, needle in (
+        ({**good, "started_at": 123.0}, "no timestamps"),
+        ({**good, "trace_id": "NOT-HEX"}, "lowercase hex"),
+        ({"trace_id": good["trace_id"]}, "span_id"),
+        ("just-a-string", "JSON object"),
+    ):
+        code, payload = _expect_http_error(
+            server, "/campaigns", method="POST", data={**SPEC_JSON, "trace": bad}
+        )
+        assert code == 400 and needle in payload["error"], bad
+
+
+def test_unknown_trace_is_404(server):
+    code, payload = _expect_http_error(server, "/trace/" + "f" * 32)
+    assert code == 404 and "unknown trace" in payload["error"]
