@@ -402,19 +402,28 @@ def serve(
     advertise_host: Optional[str] = None,
     coordinator_url: Optional[str] = None,
     journal: Optional[Union[str, Path]] = None,
+    max_queued: Optional[int] = None,
+    reserve_interactive: int = 0,
 ) -> "CampaignServer":
     """Serve the campaign layer over HTTP (the ``an5d serve`` entry point).
 
     Submit :class:`~repro.campaign.jobs.CampaignSpec` JSON to
     ``POST /campaigns``, poll ``GET /campaigns/{id}``, and fetch reports and
     deterministic JSONL exports — all against one shared result store, so
-    the service resumes warm after a restart.
+    the service resumes warm after a restart.  ``POST /predict`` and
+    ``POST /tune`` answer single jobs synchronously from the hot model
+    cache, bypassing the campaign queue entirely.
 
     ``workers`` is the multiprocessing fan-out for scalar-simulator jobs;
-    ``concurrency`` is how many campaigns the async worker overlaps.  With
-    ``block=False`` the server runs in a background thread and is returned
-    (callers stop it with :meth:`~repro.service.CampaignServer.stop`);
-    ``port=0`` picks an ephemeral port.
+    ``concurrency`` is how many campaigns the async worker overlaps.
+    ``max_queued`` enables admission control (campaign submissions beyond
+    that many queued-or-running campaigns get 429 + ``Retry-After``);
+    ``reserve_interactive`` holds that many concurrency slots back from
+    heavy campaigns so small interactive ones never wait behind a sweep.
+    With ``block=False`` the server runs in a background thread and is
+    returned (callers stop it with
+    :meth:`~repro.service.CampaignServer.stop`); ``port=0`` picks an
+    ephemeral port.
 
     Pass a :class:`~repro.cluster.registry.ClusterConfig` to make the
     instance a cluster member: it registers itself (with heartbeats) in the
@@ -439,7 +448,12 @@ def serve(
         port=port,
         store=store,
         settings=WorkerSettings(
-            workers=workers, concurrency=concurrency, timeout=timeout, retries=retries
+            workers=workers,
+            concurrency=concurrency,
+            timeout=timeout,
+            retries=retries,
+            max_queued=max_queued,
+            reserve_interactive=reserve_interactive,
         ),
         quiet=quiet,
         cluster=cluster,

@@ -221,6 +221,11 @@ class ResultStore:
         # rely on WAL + busy timeout instead (their writers never share one
         # connection).
         self._write_lock = threading.Lock()
+        # In-process write generations, split by scope so read-through caches
+        # over *results* (reports, exports) survive the cluster tables' churn
+        # (heartbeats land every couple of seconds and must not evict them).
+        self._gen_lock = threading.Lock()
+        self._generations: Dict[str, int] = {"results": 0, "cluster": 0}
         self._local = threading.local()
         self._all_connections: List[sqlite3.Connection] = []
         self._shared: Optional[sqlite3.Connection] = None
@@ -287,6 +292,26 @@ class ResultStore:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    # -- write generations -------------------------------------------------------
+    def _bump_generation(self, scope: str) -> None:
+        with self._gen_lock:
+            self._generations[scope] += 1
+
+    def generation(self, scope: str = "results") -> int:
+        """Monotonic in-process write counter for one table scope.
+
+        ``"results"`` moves on every result-table write (put/commit/delete/
+        purge); ``"cluster"`` moves on instance/submission/assignment/lease
+        writes.  Read-through caches key on the relevant generation, so a
+        ``commit_records`` upsert invalidates every materialised report and
+        export immediately while heartbeat churn leaves them warm.  The
+        counter is per process: an external writer on the same store file is
+        not observed (callers that need cross-process freshness bypass the
+        caches with ``cache=off``).
+        """
+        with self._gen_lock:
+            return self._generations[scope]
+
     # -- writes ----------------------------------------------------------------
     def _commit(self, sql: str, args: Sequence[object]) -> sqlite3.Cursor:
         """Execute one write statement and commit it immediately (timed)."""
@@ -341,6 +366,7 @@ class ResultStore:
                 timestamp,
             ),
         )
+        self._bump_generation("results")
         return str(record["key"])
 
     def commit_records(
@@ -389,6 +415,9 @@ class ResultStore:
                 ),
             )
             committed += cursor.rowcount
+        if committed:
+            # Replayed batches that changed no row leave every cache valid.
+            self._bump_generation("results")
         self.metrics.histogram(
             "store_commit_batch_size",
             "Records per wire-commit batch",
@@ -404,10 +433,12 @@ class ResultStore:
         return committed
 
     def delete(self, key: str) -> bool:
+        self._bump_generation("results")
         return self._commit("DELETE FROM results WHERE key = ?", (key,)).rowcount > 0
 
     def purge(self, status: Optional[str] = None) -> int:
         """Drop rows (all of them, or only those with the given status)."""
+        self._bump_generation("results")
         if status is None:
             return self._commit("DELETE FROM results", ()).rowcount
         return self._commit("DELETE FROM results WHERE status = ?", (status,)).rowcount
@@ -603,6 +634,7 @@ class ResultStore:
                 timestamp,
             ),
         )
+        self._bump_generation("cluster")
 
     def heartbeat_instance(self, instance_id: str, now: Optional[float] = None) -> bool:
         """Refresh one instance's heartbeat; False if it is not registered."""
@@ -611,9 +643,11 @@ class ResultStore:
             "UPDATE instances SET heartbeat_at = ? WHERE instance_id = ?",
             (timestamp, instance_id),
         )
+        self._bump_generation("cluster")
         return cursor.rowcount > 0
 
     def remove_instance(self, instance_id: str) -> bool:
+        self._bump_generation("cluster")
         return (
             self._commit(
                 "DELETE FROM instances WHERE instance_id = ?", (instance_id,)
@@ -658,6 +692,7 @@ class ResultStore:
             "updated_at = excluded.updated_at",
             (sid, spec_json, int(shards), timestamp, timestamp),
         )
+        self._bump_generation("cluster")
 
     def update_submission(
         self, sid: str, state: str, now: Optional[float] = None
@@ -667,6 +702,7 @@ class ResultStore:
             "UPDATE submissions SET state = ?, updated_at = ? WHERE id = ?",
             (state, timestamp, sid),
         )
+        self._bump_generation("cluster")
         return cursor.rowcount > 0
 
     def _submission_row(self, row: Sequence[object]) -> Dict[str, object]:
@@ -706,8 +742,10 @@ class ResultStore:
             "(submission_id, shard_index, instance_id, updated_at) VALUES (?, ?, ?, ?)",
             (sid, int(shard_index), instance_id, timestamp),
         )
+        self._bump_generation("cluster")
 
     def clear_assignments(self, sid: str) -> int:
+        self._bump_generation("cluster")
         return self._commit(
             "DELETE FROM assignments WHERE submission_id = ?", (sid,)
         ).rowcount
@@ -747,6 +785,7 @@ class ResultStore:
             (name, holder, timestamp, expires),
         )
         if inserted.rowcount > 0:
+            self._bump_generation("cluster")
             return True
         updated = self._commit(
             "UPDATE leases SET "
@@ -755,6 +794,7 @@ class ResultStore:
             "WHERE name = ? AND (holder = ? OR expires_at <= ?)",
             (holder, timestamp, holder, expires, name, holder, timestamp),
         )
+        self._bump_generation("cluster")
         return updated.rowcount > 0
 
     def get_lease(self, name: str) -> Optional[Dict[str, object]]:
@@ -776,6 +816,7 @@ class ResultStore:
         cursor = self._commit(
             "DELETE FROM leases WHERE name = ? AND holder = ?", (name, holder)
         )
+        self._bump_generation("cluster")
         return cursor.rowcount > 0
 
     # -- code-version maintenance ------------------------------------------------
@@ -791,6 +832,7 @@ class ResultStore:
 
     def purge_code_version(self, version: str) -> int:
         """Drop every result recorded under one code version."""
+        self._bump_generation("results")
         return self._commit(
             "DELETE FROM results WHERE code_version = ?", (version,)
         ).rowcount

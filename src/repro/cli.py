@@ -25,8 +25,11 @@ Subcommands
 ``an5d serve [--host 127.0.0.1 --port 8000 --store campaign.sqlite]``
     Long-running HTTP front-end over the same campaign layer: submit specs
     with ``POST /campaigns``, poll ``GET /campaigns/{id}``, stream reports
-    and exports.  Results land in the shared store, so the service and the
-    CLI subcommands above are interchangeable.  ``--cluster`` (plus
+    and exports.  ``POST /predict``/``POST /tune`` answer single jobs
+    synchronously from a hot model cache; ``--max-queued`` and
+    ``--reserve-interactive`` add admission control so sweeps cannot starve
+    interactive traffic.  Results land in the shared store, so the service
+    and the CLI subcommands above are interchangeable.  ``--cluster`` (plus
     ``--instance-id``/``--role``) joins the store's cluster: the instance
     registers itself, heartbeats, and accepts coordinator shard assignments.
 ``an5d cluster up|coordinator|status|submit``
@@ -512,6 +515,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             concurrency=args.concurrency,
             timeout=args.timeout,
             retries=args.retries,
+            max_queued=getattr(args, "max_queued", None),
+            reserve_interactive=getattr(args, "reserve_interactive", 0),
         ),
         quiet=not args.verbose,
         cluster=cluster,
@@ -522,6 +527,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if cluster is not None:
         print(f"cluster member {cluster.instance_id} (role: {cluster.role})")
     print("endpoints: POST /campaigns  GET /campaigns/{id}[/report|/export]  GET /healthz")
+    print("fast path: POST /predict  POST /tune  (synchronous, hot-cached)")
     if cluster is not None and cluster.coordinates:
         print("cluster:   POST /cluster/campaigns  GET /cluster/status|/cluster/instances")
     sys.stdout.flush()
@@ -583,6 +589,16 @@ def _add_serve_parser(sub: argparse._SubParsersAction) -> None:
     )
     serve_parser.add_argument("--timeout", type=float, default=None, help="per-job seconds")
     serve_parser.add_argument("--retries", type=int, default=1)
+    serve_parser.add_argument(
+        "--max-queued", type=int, default=None,
+        help="admission control: reject campaign submissions beyond this "
+        "many queued-or-running campaigns with 429 + Retry-After",
+    )
+    serve_parser.add_argument(
+        "--reserve-interactive", type=int, default=0,
+        help="concurrency slots reserved for small campaigns so an "
+        "exhaustive sweep cannot monopolize the worker",
+    )
     serve_parser.add_argument(
         "--cluster", action="store_true",
         help="join the store's cluster: register, heartbeat, accept shard assignments",

@@ -48,13 +48,25 @@ class ClusterError(Exception):
 
 
 class ClusterHTTPError(ClusterError):
-    """A peer answered with an HTTP error; carries its wire payload."""
+    """A peer answered with an HTTP error; carries its wire payload.
 
-    def __init__(self, status: int, payload: Dict[str, object]) -> None:
+    ``retry_after`` is the server's ``Retry-After`` hint in seconds (when it
+    sent one — admission-control 429s do), which the retry loop prefers
+    over its own computed backoff: the server knows its queue depth, the
+    client is guessing.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        payload: Dict[str, object],
+        retry_after: Optional[float] = None,
+    ) -> None:
         message = payload.get("error") if isinstance(payload, dict) else None
         super().__init__(f"HTTP {status}: {message or payload}")
         self.status = status
         self.payload = payload
+        self.retry_after = retry_after
 
     @property
     def retryable(self) -> bool:
@@ -89,6 +101,25 @@ def backoff_delay(
     return ceiling * max(fraction, 0.1)
 
 
+def _parse_retry_after(headers) -> Optional[float]:
+    """The numeric ``Retry-After`` of an error response, if one was sent.
+
+    Only the delta-seconds form is honoured (what this repo's services
+    send); the HTTP-date form and garbage values are ignored rather than
+    guessed at — the computed backoff takes over.
+    """
+    if headers is None:
+        return None
+    value = headers.get("Retry-After")
+    if value is None:
+        return None
+    try:
+        seconds = float(str(value).strip())
+    except ValueError:
+        return None
+    return seconds if seconds >= 0 else None
+
+
 class ClusterClient:
     """Small JSON-over-HTTP client retrying the retryable error class."""
 
@@ -107,7 +138,14 @@ class ClusterClient:
         self._rng = rng or random.Random()
 
     # -- plumbing --------------------------------------------------------------
-    def _sleep(self, attempt: int) -> None:
+    #: Ceiling on a server-sent Retry-After (seconds) — a confused peer must
+    #: not park a worker for an hour.
+    MAX_RETRY_AFTER_S = 30.0
+
+    def _sleep(self, attempt: int, retry_after: Optional[float] = None) -> None:
+        if retry_after is not None and retry_after > 0:
+            time.sleep(min(float(retry_after), self.MAX_RETRY_AFTER_S))
+            return
         time.sleep(
             backoff_delay(attempt, self.backoff_s, self.backoff_cap_s, self._rng)
         )
@@ -142,7 +180,9 @@ class ClusterClient:
                     body = json.loads(error.read().decode("utf-8"))
                 except Exception:  # noqa: BLE001 — non-JSON error body
                     body = {"error": str(error)}
-                http_error = ClusterHTTPError(error.code, body)
+                http_error = ClusterHTTPError(
+                    error.code, body, retry_after=_parse_retry_after(error.headers)
+                )
                 if not http_error.retryable:
                     # A terminal rejection is the peer's *answer*, not a
                     # fault — surface it without retrying.
@@ -151,7 +191,12 @@ class ClusterClient:
             except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as error:
                 last_error = error
             if attempt < self.retries:
-                self._sleep(attempt)
+                retry_after = (
+                    last_error.retry_after
+                    if isinstance(last_error, ClusterHTTPError)
+                    else None
+                )
+                self._sleep(attempt, retry_after=retry_after)
         if isinstance(last_error, ClusterHTTPError):
             raise last_error from None
         raise ClusterError(f"unreachable peer {url}: {last_error}") from None

@@ -17,6 +17,7 @@ third-party package, so any layer — store, scheduler, cluster, service —
 can instrument itself without import cycles or new dependencies.
 """
 
+from repro.obs.cache import SingleFlightCache
 from repro.obs.events import EVENTS, EventLog, emit_event, record_suppressed
 from repro.obs.metrics import (
     Counter,
@@ -49,6 +50,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_REGISTRY",
     "SPANS",
+    "SingleFlightCache",
     "SpanStore",
     "TraceContext",
     "context_from_wire",

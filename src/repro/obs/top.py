@@ -91,9 +91,21 @@ def instance_row(
             "journal": _series_total(samples, "journal_pending"),
             "reassigned": _series_total(samples, "cluster_reassign_total"),
             "swallowed": _series_total(samples, "errors_swallowed_total"),
+            "cache_hits": _series_total(samples, "cache_hits_total"),
+            "cache_misses": _series_total(samples, "cache_misses_total"),
         }
     )
     return row
+
+
+def cache_ratio(row: Dict[str, object]) -> Optional[float]:
+    """Hit fraction across all this instance's caches (None = no traffic)."""
+    hits = float(row.get("cache_hits", 0.0))
+    misses = float(row.get("cache_misses", 0.0))
+    total = hits + misses
+    if total <= 0:
+        return None
+    return hits / total
 
 
 def collect(url: str, timeout: float = 5.0) -> List[Dict[str, object]]:
@@ -133,7 +145,8 @@ def render(
     header = (
         f"{'INSTANCE':<18} {'ROLE':<12} {'LIVE':<5} "
         f"{'REQS':>8} {'REQ/S':>7} {'P99MS':>8} {'INFLT':>6} "
-        f"{'JOBS✓':>8} {'JOBS✗':>6} {'JOB/S':>7} {'JRNL':>6} {'REASG':>6} {'SWLW':>5}"
+        f"{'JOBS✓':>8} {'JOBS✗':>6} {'JOB/S':>7} {'JRNL':>6} {'REASG':>6} {'SWLW':>5} "
+        f"{'CACHE':>6}"
     )
     lines = [header, "-" * len(header)]
     totals = {"requests": 0.0, "jobs_ok": 0.0, "jobs_failed": 0.0, "reassigned": 0.0}
@@ -146,6 +159,8 @@ def render(
             continue
         for key in totals:
             totals[key] += float(row.get(key, 0.0))
+        ratio = cache_ratio(row)
+        cache_cell = "-" if ratio is None else f"{ratio * 100.0:.0f}%"
         lines.append(
             f"{str(row['id'])[:18]:<18} {str(row['role'])[:12]:<12} "
             f"{'yes' if row['live'] else 'no':<5} "
@@ -153,7 +168,8 @@ def render(
             f"{_fmt(row['req_p99_ms'], 8, 2)} {_fmt(row['in_flight'], 6)} "
             f"{_fmt(row['jobs_ok'], 8)} {_fmt(row['jobs_failed'], 6)} "
             f"{_fmt(rate(row, 'jobs_ok'), 7, 1)} {_fmt(row['journal'], 6)} "
-            f"{_fmt(row['reassigned'], 6)} {_fmt(row['swallowed'], 5)}"
+            f"{_fmt(row['reassigned'], 6)} {_fmt(row['swallowed'], 5)} "
+            f"{cache_cell:>6}"
         )
     lines.append("-" * len(header))
     lines.append(
@@ -164,4 +180,11 @@ def render(
     return "\n".join(lines)
 
 
-__all__ = ["collect", "discover_instances", "instance_row", "render", "scrape"]
+__all__ = [
+    "cache_ratio",
+    "collect",
+    "discover_instances",
+    "instance_row",
+    "render",
+    "scrape",
+]

@@ -9,6 +9,9 @@ set.
 
 ``wire``
     Strict JSON wire format (spec decoding, campaign ids, table rendering).
+``hotcache``
+    The interactive tier's hot model-batch cache behind the synchronous
+    ``POST /predict`` and ``POST /tune`` fast path.
 ``worker``
     The asyncio in-process worker that drains submissions through the
     sharded scheduler — batched model jobs in-process, scalar-simulator
@@ -30,15 +33,18 @@ Quick use::
 """
 
 from repro.service.app import CampaignApp, CampaignServer
+from repro.service.hotcache import HotModelCache
 from repro.service.routes import Request, Response
 from repro.service.wire import WireError, campaign_id
-from repro.service.worker import CampaignRecord, CampaignWorker, WorkerSettings
+from repro.service.worker import CampaignRecord, CampaignWorker, QueueFull, WorkerSettings
 
 __all__ = [
     "CampaignApp",
     "CampaignRecord",
     "CampaignServer",
     "CampaignWorker",
+    "HotModelCache",
+    "QueueFull",
     "Request",
     "Response",
     "WireError",

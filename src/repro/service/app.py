@@ -34,18 +34,21 @@ from repro.campaign.store import ResultStore
 from repro.cluster.coordinator import ClusterCoordinator
 from repro.cluster.registry import ClusterConfig, InstanceRegistry
 from repro.cluster.remote import RemoteStore
-from repro.obs import SPANS, MetricsRegistry, record_suppressed, span
+from repro.obs import SPANS, MetricsRegistry, SingleFlightCache, record_suppressed, span
+from repro.service.hotcache import HotModelCache
 from repro.service.routes import Request, Response, dispatch, route_table
-from repro.service.worker import CampaignWorker, WorkerSettings
+from repro.service.worker import CampaignWorker, QueueFull, WorkerSettings
 from repro.service.wire import (
     JSONL_TYPE,
     WireError,
     decode_assignment,
     decode_instance_id,
     decode_member,
+    decode_predict_request,
     decode_result_records,
     decode_status_query,
     decode_submit,
+    decode_tune_request,
     etag,
     render_table,
     spec_summary,
@@ -79,6 +82,18 @@ class CampaignApp:
                 # and flush histograms belong on this instance's /metrics.
                 store.set_metrics(self.metrics)
         self.worker = CampaignWorker(self.store, settings, metrics=self.metrics)
+        # The interactive tier: the hot model cache behind /predict and
+        # /tune, plus read-through caches over the store's report, export
+        # and cluster-status reads.  The read-through keys embed the store's
+        # write generation, so invalidation is automatic (and scoped: only
+        # *result* writes evict reports/exports, heartbeat churn does not).
+        # Every cache honours ``?cache=off``; generations are per-process,
+        # so a second process writing the same SQLite file must be polled
+        # with ``cache=off`` (documented on ResultStore.generation).
+        self.hot = HotModelCache(metrics=self.metrics)
+        self._report_cache = SingleFlightCache("report", capacity=128, metrics=self.metrics)
+        self._export_cache = SingleFlightCache("export", capacity=64, metrics=self.metrics)
+        self._status_cache = SingleFlightCache("cluster_status", capacity=8, metrics=self.metrics)
         self.cluster = cluster
         self.registry = None  # InstanceRegistry | RemoteRegistry
         self.coordinator: Optional[ClusterCoordinator] = None
@@ -270,10 +285,53 @@ class CampaignApp:
             raise WireError(f"unknown trace {tid!r}", status=404)
         return Response.json(tree)
 
+    # -- interactive fast path --------------------------------------------------
+    def predict_endpoint(self, request: Request) -> Response:
+        """Synchronous model prediction from the hot cache (no queue, no store)."""
+        spec, trace = decode_predict_request(request.body)
+        with span("predict.sync", parent=trace, job=spec.key()[:12]) as ctx:
+            payload, hit = self.hot.predict(spec)
+        return Response.json(
+            {
+                "kind": "predict",
+                "key": spec.key(),
+                "cached": hit,
+                "result": payload,
+                "trace_id": ctx.trace_id,
+            }
+        )
+
+    def tune_endpoint(self, request: Request) -> Response:
+        """Synchronous autotuning re-entered from the cached stage-1 ranking."""
+        spec, trace = decode_tune_request(request.body)
+        with span("tune.sync", parent=trace, job=spec.key()[:12]) as ctx:
+            payload, hit = self.hot.tune(spec)
+        return Response.json(
+            {
+                "kind": "tune",
+                "key": spec.key(),
+                "cached": hit,
+                "result": payload,
+                "trace_id": ctx.trace_id,
+            }
+        )
+
+    @staticmethod
+    def _queue_full(error: QueueFull) -> Response:
+        retry_after = str(error.retry_after)
+        return Response.json(
+            {"error": str(error), "retry_after_s": error.retry_after},
+            status=429,
+            **{"Retry-After": retry_after},
+        )
+
     def submit_campaign(self, request: Request) -> Response:
         spec, trace = decode_submit(request.body)
         with span("campaign.submit", parent=trace, campaign=spec.short_id()) as ctx:
-            record = self.worker.submit(spec, trace=ctx)
+            try:
+                record = self.worker.submit(spec, trace=ctx)
+            except QueueFull as error:
+                return self._queue_full(error)
         payload = {
             "id": record.id,
             "state": record.state,
@@ -294,7 +352,10 @@ class CampaignApp:
             campaign=spec.short_id(),
             shard=plan.describe(),
         ) as ctx:
-            record = self.worker.submit(spec, plan=plan, trace=ctx)
+            try:
+                record = self.worker.submit(spec, plan=plan, trace=ctx)
+            except QueueFull as error:
+                return self._queue_full(error)
         payload = {
             "id": record.id,
             "state": record.state,
@@ -348,24 +409,60 @@ class CampaignApp:
         # other campaigns never leaks their rows into this report.  (For a
         # store holding just this campaign that is exactly what
         # `an5d campaign report --store ...` renders.)
-        table = builder(self.store, keys=keys, **options)
-        body, content_type = render_table(table, request.param("format", "json"))
+        #
+        # The materialised report — built table *and* rendered bytes, both
+        # deterministic for a given store state — is read-through cached,
+        # keyed on the store's *results* write generation: any
+        # commit/put/purge evicts by key change, while heartbeats (cluster
+        # generation) leave it warm.
+        fmt = request.param("format", "json")
+
+        def build() -> tuple:
+            return render_table(builder(self.store, keys=keys, **options), fmt)
+
+        if request.param("cache", "on") == "off":
+            body, content_type = build()
+        else:
+            cache_key = (
+                self.store.generation("results"),
+                kind,
+                tuple(sorted(options.items())),
+                frozenset(keys),
+                fmt,
+            )
+            (body, content_type), _ = self._report_cache.get_or_build(
+                cache_key, build
+            )
         return Response(body=body, content_type=content_type)
 
     def _stream_export(self, request: Request, keys: Sequence[str]) -> Response:
-        self._require_store_native()
+        store = self._require_store_native()
         ok_only = request.param("status", "ok") == "ok"
         key_set = frozenset(keys)
-        records = [
-            record
-            for record in self.store.export_records(ok_only=ok_only)
-            if record["key"] in key_set
-        ]
-        lines = [self.store.record_line(record) + "\n" for record in records]
-        digest = etag("".join(lines).encode("utf-8"))
+
+        def build() -> tuple:
+            records = [
+                record
+                for record in store.export_records(ok_only=ok_only)
+                if record["key"] in key_set
+            ]
+            lines = tuple(store.record_line(record) + "\n" for record in records)
+            digest = etag("".join(lines).encode("utf-8"))
+            return lines, digest, len(records)
+
+        # Export lines are deterministic for a given store state, so the
+        # rendered (lines, etag, count) triple caches under the results
+        # generation.  The stream below re-encodes per request — the cached
+        # tuple is immutable and shared.
+        if request.param("cache", "on") == "off":
+            lines, digest, count = build()
+        else:
+            (lines, digest, count), _ = self._export_cache.get_or_build(
+                (store.generation("results"), ok_only, key_set), build
+            )
         return Response(
             content_type=JSONL_TYPE,
-            headers={"ETag": digest, "X-Result-Count": str(len(records))},
+            headers={"ETag": digest, "X-Result-Count": str(count)},
             stream=(line.encode("utf-8") for line in lines),
         )
 
@@ -475,7 +572,21 @@ class CampaignApp:
         return coordinator
 
     def cluster_status(self, request: Request) -> Response:
-        return Response.json(self._require_cluster().status())
+        coordinator = self._require_cluster()
+        if request.param("cache", "on") == "off" or not self.store_native:
+            return Response.json(coordinator.status())
+        # Status polling must not hit SQLite per request: the payload caches
+        # under (results gen, cluster gen, 1s clock bucket).  Any commit,
+        # heartbeat or assignment change moves a generation; the clock
+        # bucket bounds liveness staleness to a second even when nothing
+        # writes at all (e.g. a peer silently dying).
+        key = (
+            self.store.generation("results"),
+            self.store.generation("cluster"),
+            int(self.registry.clock()),
+        )
+        payload, _ = self._status_cache.get_or_build(key, coordinator.status)
+        return Response.json(payload)
 
     def cluster_instances(self, request: Request) -> Response:
         self._require_cluster()
@@ -518,6 +629,11 @@ class _CampaignRequestHandler(BaseHTTPRequestHandler):
 
     app: CampaignApp  # bound by CampaignServer via a subclass attribute
     protocol_version = "HTTP/1.1"
+    # Interactive tier: without TCP_NODELAY, keep-alive clients whose
+    # request spans two segments (headers, then body) stall ~40 ms per
+    # round-trip on the Nagle/delayed-ACK interaction — dwarfing the
+    # single-millisecond /predict fast path this server exists to serve.
+    disable_nagle_algorithm = True
     quiet = True
 
     # -- plumbing --------------------------------------------------------------

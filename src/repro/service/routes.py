@@ -13,8 +13,15 @@ Endpoints
     This instance's metrics registry in Prometheus text format.
 ``GET  /trace/{trace_id}``
     The span tree this process recorded for one trace id (JSON).
+``POST /predict``
+    Synchronous fast path: one model prediction, answered in-request from
+    the hot model-batch cache (no campaign queue, no store write).
+``POST /tune``
+    Synchronous fast path: one autotuning run re-entered from the cached
+    stage-1 ranking (``top_k`` finalists simulated in-request).
 ``POST /campaigns``
-    Submit a campaign spec (JSON); returns its id (202).
+    Submit a campaign spec (JSON); returns its id (202), or 429 with a
+    ``Retry-After`` header when the admission queue is full.
 ``POST /campaigns/assigned``
     Coordinator forwarding target: a campaign spec plus the shard plan this
     instance must run (202).
@@ -100,6 +107,8 @@ _ROUTES: Tuple[Tuple[str, "re.Pattern[str]", str], ...] = tuple(
         ("GET", r"^/healthz$", "health"),
         ("GET", r"^/metrics$", "metrics_endpoint"),
         ("GET", r"^/trace/(?P<tid>[0-9a-f]+)$", "trace_endpoint"),
+        ("POST", r"^/predict$", "predict_endpoint"),
+        ("POST", r"^/tune$", "tune_endpoint"),
         ("POST", r"^/campaigns$", "submit_campaign"),
         ("GET", r"^/campaigns$", "list_campaigns"),
         # /campaigns/assigned must precede the {cid} capture routes.

@@ -23,6 +23,12 @@ from repro.campaign.store import RECORD_FIELDS
 from repro.cluster.registry import ROLES
 from repro.obs.trace import TraceContext, context_from_wire
 from repro.reporting import ResultTable
+from repro.stencils.library import (
+    DEFAULT_2D_GRID,
+    DEFAULT_3D_GRID,
+    DEFAULT_TIME_STEPS,
+    get_benchmark,
+)
 
 #: Media types used by the service responses.
 JSON_TYPE = "application/json"
@@ -191,6 +197,143 @@ def decode_result_records(
     if not records:
         raise WireError("commit body holds no result records")
     return records, trace
+
+
+#: Envelope fields of the synchronous fast-path requests.  The config fields
+#: (``bT``/``bS``/``hS``/``regs``) become job-spec params *only when sent*,
+#: so a default request hashes to the same content address as the campaign
+#: scheduler's default predict job — fast path and store agree on keys.
+_PREDICT_FIELDS = {"pattern", "gpu", "dtype", "interior", "time_steps", "bT", "bS", "hS", "regs"}
+_TUNE_FIELDS = {"pattern", "gpu", "dtype", "interior", "time_steps", "top_k"}
+
+_DEFAULT_GRIDS = {2: DEFAULT_2D_GRID, 3: DEFAULT_3D_GRID}
+
+
+def _decode_int(data: Mapping[str, object], name: str, minimum: int = 1) -> int:
+    value = data[name]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise WireError(f"field {name!r} must be an integer")
+    if value < minimum:
+        raise WireError(f"field {name!r} must be >= {minimum}, got {value}")
+    return value
+
+
+def _interactive_spec(body: bytes, kind: str, allowed: set) -> Tuple[Mapping[str, object], JobSpec, Optional[TraceContext]]:
+    """Shared decode of the ``/predict`` and ``/tune`` envelopes.
+
+    Returns the stripped request mapping (for kind-specific params), the
+    partially built spec fields as a :class:`JobSpec` with empty params,
+    and the optional trace context.
+    """
+    data, trace = _pop_trace(decode_json(body))
+    if not isinstance(data, Mapping):
+        raise WireError(f"{kind} request must be a JSON object")
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise WireError(f"unknown {kind} request field(s): {', '.join(unknown)}")
+    if "pattern" not in data:
+        raise WireError(f"{kind} request is missing its 'pattern'")
+    pattern = data["pattern"]
+    if not isinstance(pattern, str) or not pattern:
+        raise WireError("field 'pattern' must be a non-empty string")
+    try:
+        ndim = get_benchmark(pattern).ndim
+    except KeyError as error:
+        message = error.args[0] if error.args else error
+        raise WireError(str(message)) from None
+    dtype = data.get("dtype", "float")
+    if dtype not in ("float", "double"):
+        raise WireError(f"field 'dtype' must be 'float' or 'double', got {dtype!r}")
+    gpu = data.get("gpu", "V100")
+    if not isinstance(gpu, str) or not gpu:
+        raise WireError("field 'gpu' must be a non-empty string")
+    interior = data.get("interior")
+    if interior is None:
+        interior = _DEFAULT_GRIDS.get(ndim)
+        if interior is None:
+            raise WireError(
+                f"stencil {pattern!r} is {ndim}-D; an explicit 'interior' is required"
+            )
+    elif (
+        not isinstance(interior, (list, tuple))
+        or len(interior) != ndim
+        or not all(isinstance(v, int) and not isinstance(v, bool) and v > 0 for v in interior)
+    ):
+        raise WireError(
+            f"field 'interior' must be an array of {ndim} positive integers"
+        )
+    time_steps = _decode_int(data, "time_steps") if "time_steps" in data else DEFAULT_TIME_STEPS
+    try:
+        spec = JobSpec(
+            kind=kind,
+            pattern=pattern,
+            gpu=gpu,
+            dtype=dtype,
+            interior=tuple(interior),
+            time_steps=time_steps,
+        )
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args and isinstance(error.args[0], str) else error
+        raise WireError(f"invalid {kind} request: {message}") from None
+    return data, spec, trace
+
+
+def decode_predict_request(body: bytes) -> Tuple[JobSpec, Optional[TraceContext]]:
+    """Decode a ``POST /predict`` envelope into a predict job spec.
+
+    Omitted config fields are omitted from the spec's params too, so the
+    default request keys identically to the campaign scheduler's default
+    predict job (``params=()``, model-default blocking).
+    """
+    data, spec, trace = _interactive_spec(body, "predict", _PREDICT_FIELDS)
+    params: List[Tuple[str, object]] = []
+    if "bT" in data:
+        params.append(("bT", _decode_int(data, "bT")))
+    if "bS" in data:
+        bS = data["bS"]
+        if (
+            not isinstance(bS, (list, tuple))
+            or not bS
+            or not all(isinstance(v, int) and not isinstance(v, bool) and v > 0 for v in bS)
+        ):
+            raise WireError("field 'bS' must be a non-empty array of positive integers")
+        params.append(("bS", tuple(bS)))
+    if "hS" in data:
+        params.append(("hS", _decode_int(data, "hS")))
+    if "regs" in data:
+        params.append(("regs", _decode_int(data, "regs")))
+    if params:
+        spec = JobSpec(
+            kind=spec.kind,
+            pattern=spec.pattern,
+            gpu=spec.gpu,
+            dtype=spec.dtype,
+            interior=spec.interior,
+            time_steps=spec.time_steps,
+            params=tuple(params),
+        )
+    return spec, trace
+
+
+def decode_tune_request(body: bytes) -> Tuple[JobSpec, Optional[TraceContext]]:
+    """Decode a ``POST /tune`` envelope into a tune job spec.
+
+    ``top_k`` always lands in the params (default 5) — exactly how the
+    campaign scheduler builds its tune jobs, so the fast path and a sweep
+    share content addresses.
+    """
+    data, spec, trace = _interactive_spec(body, "tune", _TUNE_FIELDS)
+    top_k = _decode_int(data, "top_k") if "top_k" in data else 5
+    spec = JobSpec(
+        kind=spec.kind,
+        pattern=spec.pattern,
+        gpu=spec.gpu,
+        dtype=spec.dtype,
+        interior=spec.interior,
+        time_steps=spec.time_steps,
+        params=(("top_k", top_k),),
+    )
+    return spec, trace
 
 
 def decode_status_query(body: bytes) -> List[str]:

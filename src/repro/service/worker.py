@@ -44,6 +44,24 @@ from repro.service.wire import campaign_id
 STATES = ("queued", "running", "done", "failed")
 
 
+class QueueFull(RuntimeError):
+    """Submission rejected by admission control (HTTP 429 at the boundary).
+
+    ``retry_after`` is a drain estimate in whole seconds: current depth over
+    the worker's campaign concurrency — honest enough for a client backoff
+    hint, cheap enough to compute under the submission lock.
+    """
+
+    def __init__(self, depth: int, limit: int, retry_after: int) -> None:
+        super().__init__(
+            f"campaign queue is full ({depth} queued or running, limit {limit}); "
+            f"retry in ~{retry_after}s"
+        )
+        self.depth = depth
+        self.limit = limit
+        self.retry_after = retry_after
+
+
 @dataclass
 class CampaignRecord:
     """One submitted campaign and the outcome of its most recent run."""
@@ -61,6 +79,10 @@ class CampaignRecord:
     # re-establishes it on the executor thread.
     trace: Optional[TraceContext] = None
     enqueued_at: float = 0.0  # perf_counter at (re-)submit, for queue-wait
+    # Memoised job content addresses for (spec, plan) — both frozen while
+    # the plan stands, so reports/exports stop re-expanding the campaign on
+    # every request.  Reset whenever a re-submission swaps the plan.
+    job_keys_cache: Optional[List[str]] = field(default=None, repr=False)
     # Re-submitting an in-flight campaign under a widened plan enqueues the
     # record again; this lock serialises the two scheduler runs so they never
     # execute the overlapping slice concurrently.
@@ -92,6 +114,16 @@ class WorkerSettings:
     retries: int = 1
     shards: int = 1
     shard_index: int = 0
+    # Admission control.  ``max_queued`` bounds campaigns in the queued or
+    # running states (None = unbounded, the historical behaviour); an
+    # over-limit submission raises :class:`QueueFull`, which the service
+    # surfaces as 429 + Retry-After.  ``reserve_interactive`` holds that many
+    # concurrency slots back from *heavy* campaigns (> ``heavy_jobs`` jobs),
+    # so an exhaustive sweep can never occupy every slot and a small
+    # interactive campaign always finds one free.
+    max_queued: Optional[int] = None
+    reserve_interactive: int = 0
+    heavy_jobs: int = 64
 
     def plan(self) -> ShardPlan:
         """The default shard plan these settings describe (validates them)."""
@@ -181,70 +213,99 @@ class CampaignWorker:
             loop.close()
 
     async def _drain(self) -> None:
-        semaphore = asyncio.Semaphore(max(1, self.settings.concurrency))
+        concurrency = max(1, self.settings.concurrency)
+        reserve = max(0, min(self.settings.reserve_interactive, concurrency - 1))
+        semaphore = asyncio.Semaphore(concurrency)
+        # The interactive lane: heavy campaigns must additionally pass this
+        # narrower semaphore, leaving ``reserve`` total-slots only light
+        # campaigns can fill.  Acquisition order is fixed (heavy, then
+        # total), so the two semaphores cannot deadlock.
+        heavy_semaphore = (
+            asyncio.Semaphore(concurrency - reserve) if reserve else None
+        )
         tasks: set = set()
         while True:
             record = await self._queue.get()
             if record is None or self._killed:
                 break
-            task = asyncio.create_task(self._run_one(record, semaphore))
+            task = asyncio.create_task(
+                self._run_one(record, semaphore, heavy_semaphore)
+            )
             tasks.add(task)
             task.add_done_callback(tasks.discard)
         if tasks and not self._killed:
             await asyncio.gather(*tasks, return_exceptions=True)
 
-    async def _run_one(self, record: CampaignRecord, semaphore: asyncio.Semaphore) -> None:
-        async with semaphore:
-            with self._lock:
-                if self._killed:
-                    return
-                record.state = "running"
-                spec, plan, seq = record.spec, record.plan, record.runs
-                enqueued_at = record.enqueued_at
-            if enqueued_at:
-                self.metrics.histogram(
-                    "campaign_queue_wait_seconds",
-                    "Time campaigns wait between submit and execution start",
-                ).observe(time.perf_counter() - enqueued_at)
-            loop = asyncio.get_running_loop()
-            try:
-                # The scheduler blocks (NumPy, SQLite, mp pool), so it runs on
-                # an executor thread; the loop stays free to start overlapping
-                # campaigns and to answer nothing — HTTP threads never enter it.
-                outcome = await loop.run_in_executor(None, self._execute, record, spec, plan)
-            except Exception as error:  # noqa: BLE001 — surfaced via status
-                self.metrics.counter(
-                    "campaign_failures_total",
-                    "Campaign runs that raised out of the scheduler",
-                    labels=("error_class",),
-                ).inc(error_class=type(error).__name__)
-                emit_event(
-                    "campaign_failed",
-                    campaign=record.id,
-                    error_class=type(error).__name__,
-                    detail=str(error)[:500],
-                )
-                with self._lock:
-                    if record.runs == seq:
-                        record.state = "failed"
-                        record.error = f"{type(error).__name__}: {error}"
+    async def _run_one(
+        self,
+        record: CampaignRecord,
+        semaphore: asyncio.Semaphore,
+        heavy_semaphore: Optional[asyncio.Semaphore] = None,
+    ) -> None:
+        heavy = (
+            heavy_semaphore is not None
+            and record.spec.size() > self.settings.heavy_jobs
+        )
+        if heavy:
+            async with heavy_semaphore:
+                async with semaphore:
+                    await self._run_admitted(record)
+        else:
+            async with semaphore:
+                await self._run_admitted(record)
+        self._update_depth_gauge()
+
+    async def _run_admitted(self, record: CampaignRecord) -> None:
+        with self._lock:
+            if self._killed:
                 return
-            with self._lock:
-                # A re-submission may have superseded this run (record.runs
-                # moved on) — its own task will write the terminal state.
-                if record.runs == seq:
-                    record.outcome = outcome
-                    record.error = None
-                    record.state = "done" if outcome.ok else "failed"
+            record.state = "running"
+            spec, plan, seq = record.spec, record.plan, record.runs
+            enqueued_at = record.enqueued_at
+        if enqueued_at:
+            self.metrics.histogram(
+                "campaign_queue_wait_seconds",
+                "Time campaigns wait between submit and execution start",
+            ).observe(time.perf_counter() - enqueued_at)
+        loop = asyncio.get_running_loop()
+        try:
+            # The scheduler blocks (NumPy, SQLite, mp pool), so it runs on
+            # an executor thread; the loop stays free to start overlapping
+            # campaigns and to answer nothing — HTTP threads never enter it.
+            outcome = await loop.run_in_executor(None, self._execute, record, spec, plan)
+        except Exception as error:  # noqa: BLE001 — surfaced via status
+            self.metrics.counter(
+                "campaign_failures_total",
+                "Campaign runs that raised out of the scheduler",
+                labels=("error_class",),
+            ).inc(error_class=type(error).__name__)
             emit_event(
-                "campaign_run_finished",
+                "campaign_failed",
                 campaign=record.id,
-                ok=outcome.ok,
-                executed=outcome.executed,
-                cached=outcome.cached,
-                failed=outcome.failed,
-                duration_s=round(outcome.duration_s, 3),
+                error_class=type(error).__name__,
+                detail=str(error)[:500],
             )
+            with self._lock:
+                if record.runs == seq:
+                    record.state = "failed"
+                    record.error = f"{type(error).__name__}: {error}"
+            return
+        with self._lock:
+            # A re-submission may have superseded this run (record.runs
+            # moved on) — its own task will write the terminal state.
+            if record.runs == seq:
+                record.outcome = outcome
+                record.error = None
+                record.state = "done" if outcome.ok else "failed"
+        emit_event(
+            "campaign_run_finished",
+            campaign=record.id,
+            ok=outcome.ok,
+            executed=outcome.executed,
+            cached=outcome.cached,
+            failed=outcome.failed,
+            duration_s=round(outcome.duration_s, 3),
+        )
 
     def _scheduler(
         self, spec: CampaignSpec, plan: Optional[ShardPlan] = None
@@ -289,27 +350,54 @@ class CampaignWorker:
         reports ``cache_hit_rate == 1.0``.  Re-submitting an in-flight
         campaign under a *different* shard plan re-enqueues it too — that is
         how the coordinator hands this instance the shards of a dead peer.
+
+        With :attr:`WorkerSettings.max_queued` set, a submission that would
+        push the queued-or-running count past the limit raises
+        :class:`QueueFull` — but only *after* the dedupe check, so re-posting
+        an in-flight campaign never 429s.
         """
         if self._loop is None:
             raise RuntimeError("campaign worker is not running")
         cid = campaign_id(spec)
         with self._lock:
             record = self._records.get(cid)
+            if (
+                record is not None
+                and record.state in ("queued", "running")
+                and record.plan == plan
+            ):
+                return record
+            limit = self.settings.max_queued
+            if limit is not None:
+                depth = sum(
+                    1
+                    for r in self._records.values()
+                    if r.state in ("queued", "running")
+                )
+                if depth >= limit:
+                    self.metrics.counter(
+                        "campaign_rejections_total",
+                        "Campaign submissions rejected by admission control",
+                    ).inc()
+                    retry_after = max(
+                        1, round(depth / max(1, self.settings.concurrency))
+                    )
+                    raise QueueFull(depth=depth, limit=limit, retry_after=retry_after)
             if record is None:
                 record = CampaignRecord(
                     id=cid, spec=spec, plan=plan, submitted_seq=next(self._seq)
                 )
                 self._records[cid] = record
-            elif record.state in ("queued", "running") and record.plan == plan:
-                return record
             else:
                 record.plan = plan
+                record.job_keys_cache = None  # plan changed: keys may differ
                 record.state = "queued"
             if trace is not None:
                 record.trace = trace
             record.enqueued_at = time.perf_counter()
             record.runs += 1
             run = record.runs
+        self._update_depth_gauge()
         emit_event(
             "campaign_submitted",
             campaign=cid,
@@ -319,6 +407,15 @@ class CampaignWorker:
         )
         self._loop.call_soon_threadsafe(self._queue.put_nowait, record)
         return record
+
+    def _update_depth_gauge(self) -> None:
+        with self._lock:
+            depth = sum(
+                1 for r in self._records.values() if r.state in ("queued", "running")
+            )
+        self.metrics.gauge(
+            "campaign_queue_depth", "Campaigns queued or running right now"
+        ).set(depth)
 
     def get(self, cid: str) -> Optional[CampaignRecord]:
         with self._lock:
@@ -347,4 +444,9 @@ class CampaignWorker:
         record = self.get(cid)
         if record is None:
             return None
-        return self._scheduler(record.spec, record.plan).job_keys()
+        with self._lock:
+            if record.job_keys_cache is None:
+                record.job_keys_cache = self._scheduler(
+                    record.spec, record.plan
+                ).job_keys()
+            return list(record.job_keys_cache)

@@ -160,16 +160,20 @@ class AutoTuner:
         assert best is not None
         return best
 
-    def tune(
+    def tune_ranked(
         self,
         pattern: StencilPattern,
         grid: GridSpec,
-        space: SearchSpace | None = None,
+        ranked: Sequence[TuningCandidate],
+        explored: int,
         register_limits: Sequence[Optional[int]] = REGISTER_LIMITS,
     ) -> TuningResult:
-        """Full tuning: prune, rank, simulate the top candidates, pick the best."""
-        space = space or default_search_space(pattern)
-        ranked = self.rank(pattern, grid, space)
+        """Stage 2 only: simulate the top candidates of a precomputed ranking.
+
+        Callers that cache the stage-1 ranking (the service's hot model-batch
+        cache) re-enter tuning here; the result is exactly what :meth:`tune`
+        returns for the ranking it would have computed itself.
+        """
         if not ranked:
             raise ValueError(
                 f"no valid configuration for stencil {pattern.name!r} on {self.gpu.name}"
@@ -185,8 +189,22 @@ class AutoTuner:
             dtype=pattern.dtype,
             best=best,
             top_candidates=finalists,
-            explored=space.size(),
+            explored=explored,
             pruned_to=len(ranked),
+        )
+
+    def tune(
+        self,
+        pattern: StencilPattern,
+        grid: GridSpec,
+        space: SearchSpace | None = None,
+        register_limits: Sequence[Optional[int]] = REGISTER_LIMITS,
+    ) -> TuningResult:
+        """Full tuning: prune, rank, simulate the top candidates, pick the best."""
+        space = space or default_search_space(pattern)
+        ranked = self.rank(pattern, grid, space)
+        return self.tune_ranked(
+            pattern, grid, ranked, explored=space.size(), register_limits=register_limits
         )
 
 
