@@ -4,46 +4,128 @@ Sweeps bT for first-order star and box stencils in 2D (bT = 1..16) and 3D
 (bT = 1..8), single precision, keeping the tuned spatial parameters fixed and
 re-tuning only the register limit — exactly the protocol of Section 7.3.
 Reports both the simulated ("Tuned") and the analytic ("Model") series.
+
+Like the other figure benches, the figure regenerates *from the campaign
+store*: every (stencil, bT, register limit) point is one content-addressed
+``predict`` job, executed through the batched model engine, committed once,
+and read back.  The second pass runs nothing — both series come straight off
+the store — and its cold/warm timing lands in ``BENCH_campaign.json`` next
+to the Table 5, Fig. 6 and Fig. 7 sweeps.
 """
 
 from __future__ import annotations
 
-import pytest
+import time
+from dataclasses import dataclass
 
-from benchmarks.conftest import evaluation_grid, format_table, report
+from benchmarks.bench_table5_tuned import record_campaign_timing
+from benchmarks.conftest import format_table, report
+from repro.campaign import ResultStore
+from repro.campaign.jobs import JobSpec, run_predict_jobs
 from repro.core.config import BlockingConfig
-from repro.model.gpu_specs import get_gpu
-from repro.model.roofline import predict_performance
-from repro.sim.timing import TimingSimulator
-from repro.stencils.library import load_pattern
+from repro.stencils.library import (
+    DEFAULT_2D_GRID,
+    DEFAULT_3D_GRID,
+    DEFAULT_TIME_STEPS,
+    load_pattern,
+)
 from repro.tuning.search_space import REGISTER_LIMITS
 
 CASES_2D = {"star2d1r": (256,), "box2d1r": (256,)}
 CASES_3D = {"star3d1r": (32, 32), "box3d1r": (32, 32)}
 
 
-def sweep(name: str, bS, bT_range, hS):
+@dataclass(frozen=True)
+class _PassTiming:
+    """Just enough of a CampaignOutcome for record_campaign_timing."""
+
+    total: int
+    duration_s: float
+    cache_hit_rate: float
+
+
+def predict_job(name: str, ndim: int, bT: int, bS, hS: int, regs) -> JobSpec:
+    """One content-addressed point of the Fig. 8 sweep."""
+    params = [("bT", bT), ("bS", tuple(bS)), ("hS", hS)]
+    if regs is not None:
+        params.append(("regs", regs))
+    return JobSpec(
+        kind="predict",
+        pattern=name,
+        gpu="V100",
+        dtype="float",
+        interior=DEFAULT_2D_GRID if ndim == 2 else DEFAULT_3D_GRID,
+        time_steps=DEFAULT_TIME_STEPS,
+        params=tuple(params),
+    )
+
+
+def sweep_jobs(name: str, bS, bT_range, hS: int):
+    """The (bT, register limit) -> JobSpec map of one stencil's sweep.
+
+    Invalid bT values (blocks too large for the halo) are dropped up front,
+    exactly as the original in-process sweep skipped them.
+    """
     pattern = load_pattern(name, "float")
-    grid = evaluation_grid(pattern.ndim)
-    gpu = get_gpu("V100")
-    simulator = TimingSimulator(gpu)
-    series = []
+    jobs = {}
     for bT in bT_range:
-        config = BlockingConfig(bT=bT, bS=bS, hS=hS)
-        if not config.is_valid(pattern):
+        if not BlockingConfig(bT=bT, bS=bS, hS=hS).is_valid(pattern):
             continue
-        best = max(
-            simulator.simulate(pattern, grid, config.with_register_limit(limit)).gflops
-            for limit in REGISTER_LIMITS
+        for limit in REGISTER_LIMITS:
+            jobs[(bT, limit)] = predict_job(name, pattern.ndim, bT, bS, hS, limit)
+    return jobs
+
+
+def run_fig8_campaign(cases, bT_range, hS: int, store_path):
+    """Cold pass batch-evaluates + commits; warm pass reads rows off the store."""
+    all_jobs = {name: sweep_jobs(name, bS, bT_range, hS) for name, bS in cases.items()}
+    total = sum(len(jobs) for jobs in all_jobs.values())
+    with ResultStore(store_path) as store:
+        started = time.perf_counter()
+        executed = 0
+        for jobs in all_jobs.values():
+            # One stencil's points all share a predict batch key, so the
+            # whole sweep is a single batched model evaluation.
+            pending = [job for job in jobs.values() if not store.has_ok(job)]
+            for job, payload in zip(pending, run_predict_jobs(pending)):
+                store.put(job, payload)
+                executed += 1
+        cold = _PassTiming(
+            total=total,
+            duration_s=time.perf_counter() - started,
+            cache_hit_rate=(total - executed) / total,
         )
-        model = predict_performance(pattern, grid, config, gpu).gflops
-        series.append((bT, round(best), round(model)))
-    return series
+
+        started = time.perf_counter()
+        results = {}
+        for name, jobs in all_jobs.items():
+            series = []
+            for bT in bT_range:
+                group = {regs: job for (b, regs), job in jobs.items() if b == bT}
+                if not group:
+                    continue
+                tuned = max(
+                    store.lookup(job).payload["simulated_gflops"]
+                    for job in group.values()
+                )
+                model = store.lookup(group[None]).payload["model_gflops"]
+                series.append((bT, round(tuned), round(model)))
+            results[name] = series
+        warm_hits = sum(
+            1 for jobs in all_jobs.values() for job in jobs.values() if store.has_ok(job)
+        )
+        warm = _PassTiming(
+            total=total,
+            duration_s=time.perf_counter() - started,
+            cache_hit_rate=warm_hits / total,
+        )
+    return cold, warm, results
 
 
-def test_fig8_scaling_2d(benchmark):
-    results = benchmark.pedantic(
-        lambda: {name: sweep(name, bS, range(1, 17), 512) for name, bS in CASES_2D.items()},
+def test_fig8_scaling_2d(benchmark, tmp_path):
+    cold, warm, results = benchmark.pedantic(
+        run_fig8_campaign,
+        args=(CASES_2D, range(1, 17), 512, tmp_path / "fig8_2d.sqlite"),
         rounds=1,
         iterations=1,
     )
@@ -53,6 +135,12 @@ def test_fig8_scaling_2d(benchmark):
             rows.append((name, bT, tuned, model))
     table = format_table(["stencil", "bT", "Tuned GFLOP/s", "Model GFLOP/s"], rows)
     report("fig8_2d", "Fig. 8 (left): 2D scaling with bT on V100 (float, rad=1)", table)
+    record_campaign_timing("fig8_2d", cold, warm)
+
+    # Store-backed regeneration: the first pass executes every point, the
+    # read-back pass is answered entirely from the store.
+    assert cold.cache_hit_rate == 0.0
+    assert warm.cache_hit_rate == 1.0
 
     for name, series in results.items():
         tuned = {bT: value for bT, value, _ in series}
@@ -64,9 +152,10 @@ def test_fig8_scaling_2d(benchmark):
         assert all(model >= tuned_value for _, tuned_value, model in series), name
 
 
-def test_fig8_scaling_3d(benchmark):
-    results = benchmark.pedantic(
-        lambda: {name: sweep(name, bS, range(1, 9), 128) for name, bS in CASES_3D.items()},
+def test_fig8_scaling_3d(benchmark, tmp_path):
+    cold, warm, results = benchmark.pedantic(
+        run_fig8_campaign,
+        args=(CASES_3D, range(1, 9), 128, tmp_path / "fig8_3d.sqlite"),
         rounds=1,
         iterations=1,
     )
@@ -76,6 +165,10 @@ def test_fig8_scaling_3d(benchmark):
             rows.append((name, bT, tuned, model))
     table = format_table(["stencil", "bT", "Tuned GFLOP/s", "Model GFLOP/s"], rows)
     report("fig8_3d", "Fig. 8 (right): 3D scaling with bT on V100 (float, rad=1)", table)
+    record_campaign_timing("fig8_3d", cold, warm)
+
+    assert cold.cache_hit_rate == 0.0
+    assert warm.cache_hit_rate == 1.0
 
     star = {bT: value for bT, value, _ in results["star3d1r"]}
     box = {bT: value for bT, value, _ in results["box3d1r"]}

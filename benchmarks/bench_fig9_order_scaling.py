@@ -3,45 +3,76 @@
 Tunes every synthetic stencil on Tesla V100 (single precision by default,
 double precision too under ``AN5D_BENCH_FULL=1``) and reports the best
 temporal blocking degree and the achieved performance per stencil order.
+
+Like the other figure benches, the figure regenerates *from the campaign
+store*: the sixteen synthetic stencils are one ``CampaignSpec`` (kind
+``tune``, top_k=3) run through the scheduler, and every row — best bT, tuned
+and model GFLOP/s — is read back out of the store.  The second pass executes
+nothing, and its cold/warm timing lands in ``BENCH_campaign.json`` next to
+the Table 5 and Fig. 6-8 sweeps.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import FULL_SWEEP, evaluation_grid, format_table, report
-from repro.stencils.library import load_pattern
-from repro.tuning.autotuner import AutoTuner
+from benchmarks.bench_table5_tuned import record_campaign_timing
+from benchmarks.conftest import FULL_SWEEP, format_table, report
+from repro.campaign import CampaignScheduler, CampaignSpec, ResultStore
 
 DTYPES = ("float", "double") if FULL_SWEEP else ("float",)
 FAMILIES = ("star2d", "box2d", "star3d", "box3d")
+RADII = (1, 2, 3, 4)
+
+FIG9_BENCHMARKS = tuple(
+    f"{family}{radius}r" for family in FAMILIES for radius in RADII
+)
 
 
-def sweep(dtype: str):
-    tuner = AutoTuner("V100", top_k=3)
-    rows = []
-    for family in FAMILIES:
-        for radius in (1, 2, 3, 4):
-            name = f"{family}{radius}r"
-            pattern = load_pattern(name, dtype)
-            result = tuner.tune(pattern, evaluation_grid(pattern.ndim))
-            rows.append(
-                (
-                    family,
-                    radius,
-                    result.best_config.bT,
-                    round(result.best.measured_gflops),
-                    round(result.best.predicted_gflops),
+def run_fig9_campaign(dtype: str, store_path):
+    """Cold pass tunes + commits; warm pass reads every row off the store."""
+    spec = CampaignSpec(
+        benchmarks=FIG9_BENCHMARKS, gpus=("V100",), dtypes=(dtype,),
+        kinds=("tune",), top_k=3,
+    )
+    with ResultStore(store_path) as store:
+        cold = CampaignScheduler(spec, store).run()
+        warm = CampaignScheduler(spec, store).run()
+        rows = []
+        for family in FAMILIES:
+            for radius in RADII:
+                name = f"{family}{radius}r"
+                (result,) = store.query(
+                    kind="tune", pattern=name, gpu="V100", dtype=dtype
                 )
-            )
-    return rows
+                rows.append(
+                    (
+                        family,
+                        radius,
+                        result.payload["bT"],
+                        round(result.payload["tuned_gflops"]),
+                        round(result.payload["model_gflops"]),
+                    )
+                )
+    return cold, warm, rows
 
 
 @pytest.mark.parametrize("dtype", DTYPES)
-def test_fig9_order_scaling(benchmark, dtype):
-    rows = benchmark.pedantic(sweep, args=(dtype,), rounds=1, iterations=1)
+def test_fig9_order_scaling(benchmark, tmp_path, dtype):
+    cold, warm, rows = benchmark.pedantic(
+        run_fig9_campaign,
+        args=(dtype, tmp_path / "fig9.sqlite"),
+        rounds=1,
+        iterations=1,
+    )
     table = format_table(["family", "radius", "best bT", "Tuned GFLOP/s", "Model GFLOP/s"], rows)
     report(f"fig9_{dtype}", f"Fig. 9: star/box stencils by order (V100, {dtype})", table)
+    record_campaign_timing(f"fig9_{dtype}", cold, warm)
+
+    # Store-backed regeneration: the first pass tunes all sixteen stencils,
+    # the repeat pass is answered entirely warm.
+    assert cold.ok and cold.executed == cold.total
+    assert warm.cached == warm.total and warm.cache_hit_rate == 1.0
 
     best_bt = {(family, radius): bT for family, radius, bT, _, _ in rows}
     gflops = {(family, radius): tuned for family, radius, _, tuned, _ in rows}
@@ -60,7 +91,7 @@ def test_fig9_order_scaling(benchmark, dtype):
     multi_degree = [
         best_bt[(family, radius)] >= 2
         for family in ("star2d", "box2d", "star3d")
-        for radius in (1, 2, 3, 4)
+        for radius in RADII
     ]
     assert sum(multi_degree) >= 9
     # GFLOP/s of box stencils grows with order (more FLOPs per byte).

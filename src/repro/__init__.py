@@ -13,7 +13,7 @@ from repro.ir.stencil import GridSpec, StencilPattern
 from repro.model.gpu_specs import GPUS, GpuSpec, get_gpu
 from repro.stencils.library import BENCHMARKS, get_benchmark, load_pattern
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BENCHMARKS",

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from pathlib import Path
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -358,6 +358,52 @@ def campaign(
             plan=plan,
         )
         return scheduler.run(progress=progress)
+    finally:
+        if owns_store:
+            result_store.close()
+
+
+def fuzz(
+    seed: int = 0,
+    count: int = 20,
+    gpus: Sequence[str] = ("V100",),
+    store: Union[str, Path, "ResultStore"] = "campaign.sqlite",
+    workers: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    progress=None,
+) -> Tuple["CampaignOutcome", List[Dict[str, object]]]:
+    """Run a standing differential-fuzzing campaign over generated stencils.
+
+    ``count`` seeded random stencils are drawn from ``seed`` (each program is
+    reproducible from its ``fuzz-{seed}-{index}`` name alone) and every one
+    is run through the differential oracles: frontend round trip, compiled
+    kernel vs. interpreter, blocked executor vs. reference, batch model vs.
+    scalar model.  Pass/divergence records are committed to the
+    content-addressed ``store`` — re-running the same seed is answered
+    entirely warm, and exports stay byte-identical across cold runs.
+
+    Returns the campaign outcome plus the deterministic export records of
+    every fuzz job, in seed order.
+    """
+    from repro.campaign import CampaignScheduler, CampaignSpec, ResultStore
+
+    spec = CampaignSpec(
+        gpus=tuple(gpus), kinds=("fuzz",), fuzz_seed=seed, fuzz_count=count
+    )
+    owns_store = not isinstance(store, ResultStore)
+    result_store = ResultStore(store) if owns_store else store
+    try:
+        scheduler = CampaignScheduler(
+            spec, result_store, workers=workers, timeout=timeout, retries=retries
+        )
+        outcome = scheduler.run(progress=progress)
+        records = []
+        for job in spec.expand():
+            stored = result_store.lookup(job)
+            if stored is not None:
+                records.append(stored.export_record())
+        return outcome, records
     finally:
         if owns_store:
             result_store.close()

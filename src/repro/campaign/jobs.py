@@ -22,6 +22,7 @@ import repro
 from repro.core.config import BlockingConfig
 from repro.ir.stencil import GridSpec
 from repro.model.gpu_specs import GPUS, get_gpu
+from repro.stencils.generators import fuzz_name, fuzz_stencil
 from repro.stencils.library import (
     BENCHMARKS,
     DEFAULT_2D_GRID,
@@ -32,7 +33,7 @@ from repro.stencils.library import (
 )
 
 #: The kinds of work a campaign can schedule.
-JOB_KINDS: Tuple[str, ...] = ("tune", "exhaustive", "verify", "baseline", "predict")
+JOB_KINDS: Tuple[str, ...] = ("tune", "exhaustive", "verify", "baseline", "predict", "fuzz")
 
 #: Baseline frameworks expanded by the ``baseline`` job kind.
 BASELINE_FRAMEWORKS: Tuple[str, ...] = ("loop", "hybrid", "stencilgen")
@@ -319,12 +320,133 @@ def _run_predict(spec: JobSpec) -> Dict[str, object]:
     }
 
 
+def _run_fuzz(spec: JobSpec) -> Dict[str, object]:
+    """One differential-fuzzing job: four independent oracle comparisons.
+
+    1. frontend round trip — generated C source, parsed back, must lower to
+       IR bit-equal to the directly-built pattern;
+    2. compiled kernel vs. the tree-walking interpreter oracle, bit-exact;
+    3. blocked executor vs. the NumPy reference (tolerance of reassociation);
+    4. batched model engine vs. the scalar model, exact float equality.
+
+    The payload is a structured pass/divergence record with no timestamps or
+    environment-dependent fields, so store exports stay byte-identical
+    across runs and machines.
+    """
+    import numpy as np
+
+    from repro.frontend.stencil_detect import parse_stencil
+    from repro.ir.compile import compile_pattern
+    from repro.model.batch import BatchModelEngine, ConfigBatch, supports_pattern
+    from repro.model.roofline import predict_performance
+    from repro.sim.executor import verify_blocking
+    from repro.sim.timing import simulate_performance
+    from repro.stencils.library import direct_pattern
+    from repro.stencils.reference import ReferenceExecutor, make_initial_grid
+
+    params = spec.params_dict()
+    seed = int(params.get("seed", 0))
+    benchmark = get_benchmark(spec.pattern)
+    pattern = load_pattern(spec.pattern, spec.dtype)
+    grid = spec.grid()
+    checks: List[Dict[str, object]] = []
+
+    def record(check: str, passed: bool, detail: str = "") -> None:
+        checks.append({"check": check, "passed": bool(passed), "detail": detail})
+
+    reference = direct_pattern(spec.pattern, spec.dtype)
+    if reference is None:
+        record("frontend_roundtrip", True, "no direct IR builder for this name")
+    else:
+        parsed = parse_stencil(benchmark.source, name=spec.pattern, dtype=spec.dtype).pattern
+        same = (
+            parsed.expr == reference.expr
+            and parsed.ndim == reference.ndim
+            and parsed.array == reference.array
+        )
+        record("frontend_roundtrip", same, "" if same else "parsed IR differs from direct IR")
+
+    initial = make_initial_grid(pattern, grid, seed=seed)
+    oracle = ReferenceExecutor(pattern, compile_pattern(pattern, mode="interpreter"))
+    compiled = ReferenceExecutor(pattern, compile_pattern(pattern, mode="compiled"))
+    same = bool(
+        np.array_equal(
+            oracle.run(initial, grid.time_steps),
+            compiled.run(initial, grid.time_steps),
+            equal_nan=True,
+        )
+    )
+    record(
+        "compiled_vs_interpreter", same,
+        "" if same else "compiled kernel diverges from the interpreter oracle",
+    )
+
+    # The largest standard verify degree the stencil's halo admits: high-order
+    # stencils (e.g. radius 4 on a 32-wide block) leave no compute region at
+    # bT=4, so the degree backs off deterministically per pattern.
+    bS = (32,) if pattern.ndim == 2 else (16, 16)
+    degrees = (4, 3, 2, 1) if pattern.ndim == 2 else (2, 1)
+    config = next(
+        (
+            candidate
+            for bT in degrees
+            for candidate in [BlockingConfig(bT=bT, bS=bS)]
+            if candidate.is_valid(pattern)
+        ),
+        None,
+    )
+    if config is None:
+        record("blocked_vs_reference", True, "no valid blocking on the verify grid")
+    else:
+        blocked = verify_blocking(pattern, grid, config, seed=seed)
+        record(
+            "blocked_vs_reference", blocked.matches,
+            "" if blocked.matches else f"max_relative_error={blocked.max_relative_error:.3e}",
+        )
+
+    model_configs = [
+        BlockingConfig(bT=bT, bS=(32,) if pattern.ndim == 2 else (16, 16))
+        for bT in (1, 2, 4)
+    ]
+    model_configs = [c for c in model_configs if c.is_valid(pattern)]
+    if not supports_pattern(pattern) or not model_configs:
+        record("batch_vs_scalar_model", True, "pattern outside the batch engine's support")
+    else:
+        gpu = get_gpu(spec.gpu)
+        engine = BatchModelEngine(pattern, grid, gpu)
+        batch = ConfigBatch.from_configs(model_configs)
+        traffic = engine.traffic(batch)
+        predicted = engine.predict(batch, traffic)
+        simulated = engine.simulate(batch, traffic)
+        same = all(
+            float(predicted.gflops[index])
+            == predict_performance(pattern, grid, config, gpu).gflops
+            and float(simulated.gflops[index])
+            == simulate_performance(pattern, grid, config, spec.gpu).gflops
+            for index, config in enumerate(model_configs)
+        )
+        record(
+            "batch_vs_scalar_model", same,
+            "" if same else "batch engine diverges from the scalar model",
+        )
+
+    divergences = sum(1 for check in checks if not check["passed"])
+    return {
+        "ndim": pattern.ndim,
+        "offsets": len(pattern.offsets),
+        "checks": checks,
+        "divergences": divergences,
+        "passed": divergences == 0,
+    }
+
+
 _RUNNERS = {
     "tune": _run_tune,
     "exhaustive": _run_exhaustive,
     "verify": _run_verify,
     "baseline": _run_baseline,
     "predict": _run_predict,
+    "fuzz": _run_fuzz,
 }
 
 
@@ -431,6 +553,8 @@ class CampaignSpec:
     interior_2d: Tuple[int, ...] = DEFAULT_2D_GRID
     interior_3d: Tuple[int, ...] = DEFAULT_3D_GRID
     top_k: int = 5
+    fuzz_seed: int = 0
+    fuzz_count: int = 0
 
     def __post_init__(self) -> None:
         benchmarks = _unique(self.benchmarks) or tuple(BENCHMARKS)
@@ -453,6 +577,12 @@ class CampaignSpec:
         for kind in self.kinds:
             if kind not in JOB_KINDS:
                 raise ValueError(f"unknown job kind {kind!r}; expected one of {JOB_KINDS}")
+        if self.fuzz_count < 0:
+            raise ValueError("fuzz_count must be non-negative")
+        if ("fuzz" in self.kinds) != (self.fuzz_count > 0):
+            raise ValueError(
+                "the fuzz kind and fuzz_count > 0 go together: set both or neither"
+            )
 
     def _interior(self, ndim: int) -> Tuple[int, ...]:
         return tuple(self.interior_2d) if ndim == 2 else tuple(self.interior_3d)
@@ -467,6 +597,13 @@ class CampaignSpec:
         jobs: List[JobSpec] = []
         seen: set = set()
         for kind in self.kinds:
+            if kind == "fuzz":
+                for job in self._fuzz_jobs():
+                    key = job.key()
+                    if key not in seen:
+                        seen.add(key)
+                        jobs.append(job)
+                continue
             for name in self.benchmarks:
                 benchmark = get_benchmark(name)
                 for gpu in self.gpus:
@@ -476,6 +613,30 @@ class CampaignSpec:
                             if key not in seen:
                                 seen.add(key)
                                 jobs.append(job)
+        return jobs
+
+    def _fuzz_jobs(self) -> List[JobSpec]:
+        """The seeded fuzz matrix: ``fuzz_count`` generated stencils per GPU.
+
+        The benchmarks/dtypes axes do not apply — each generated stencil
+        carries its own dtype, and functional checks run on the verify-sized
+        grids regardless of the campaign's evaluation interiors.
+        """
+        jobs: List[JobSpec] = []
+        for gpu in self.gpus:
+            for index in range(self.fuzz_count):
+                stencil = fuzz_stencil(self.fuzz_seed, index)
+                interior = VERIFY_GRID_2D if stencil.ndim == 2 else VERIFY_GRID_3D
+                jobs.append(
+                    JobSpec(
+                        "fuzz",
+                        fuzz_name(self.fuzz_seed, index),
+                        gpu,
+                        stencil.dtype,
+                        interior,
+                        VERIFY_TIME_STEPS,
+                    )
+                )
         return jobs
 
     def _jobs_for(
@@ -511,10 +672,18 @@ class CampaignSpec:
         return len(self.expand())
 
     def describe(self) -> str:
-        return (
+        if self.kinds == ("fuzz",):
+            return (
+                f"fuzz seed {self.fuzz_seed}: {self.fuzz_count} generated stencil(s) x "
+                f"{len(self.gpus)} GPU(s)"
+            )
+        text = (
             f"{len(self.benchmarks)} benchmark(s) x {len(self.gpus)} GPU(s) x "
             f"{len(self.dtypes)} dtype(s) x kinds {', '.join(self.kinds)}"
         )
+        if self.fuzz_count > 0:
+            text += f" + fuzz seed {self.fuzz_seed} x {self.fuzz_count}"
+        return text
 
     # -- wire format ---------------------------------------------------------
     _JSON_FIELDS = (
@@ -526,11 +695,18 @@ class CampaignSpec:
         "interior_2d",
         "interior_3d",
         "top_k",
+        "fuzz_seed",
+        "fuzz_count",
     )
 
     def to_json(self) -> Dict[str, object]:
-        """Canonical JSON-safe mapping of the (normalised) campaign."""
-        return {
+        """Canonical JSON-safe mapping of the (normalised) campaign.
+
+        The fuzz fields are emitted only when the campaign actually carries a
+        fuzz matrix, so every pre-existing campaign keeps its exact canonical
+        encoding — and therefore its content address and short id.
+        """
+        data: Dict[str, object] = {
             "benchmarks": list(self.benchmarks),
             "gpus": list(self.gpus),
             "dtypes": list(self.dtypes),
@@ -540,6 +716,10 @@ class CampaignSpec:
             "interior_3d": list(self.interior_3d),
             "top_k": self.top_k,
         }
+        if self.fuzz_count > 0:
+            data["fuzz_seed"] = self.fuzz_seed
+            data["fuzz_count"] = self.fuzz_count
+        return data
 
     @classmethod
     def from_json(cls, data: Mapping[str, object]) -> "CampaignSpec":
@@ -571,6 +751,8 @@ class CampaignSpec:
             interior_2d=tuple(data.get("interior_2d", DEFAULT_2D_GRID)),  # type: ignore[arg-type]
             interior_3d=tuple(data.get("interior_3d", DEFAULT_3D_GRID)),  # type: ignore[arg-type]
             top_k=int(data.get("top_k", 5)),  # type: ignore[arg-type]
+            fuzz_seed=int(data.get("fuzz_seed", 0)),  # type: ignore[arg-type]
+            fuzz_count=int(data.get("fuzz_count", 0)),  # type: ignore[arg-type]
         )
 
     def canonical(self) -> str:

@@ -302,6 +302,74 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    """Run a standing differential-fuzzing campaign over generated stencils."""
+    from repro.stencils.generators import fuzz_stencil, parse_fuzz_name
+
+    if args.show is not None:
+        parsed = parse_fuzz_name(args.show)
+        if parsed is None:
+            print(
+                f"error: {args.show!r} is not a fuzz stencil name "
+                "(expected fuzz-SEED-INDEX)",
+                file=sys.stderr,
+            )
+            return 2
+        stencil = fuzz_stencil(*parsed)
+        print(stencil.describe())
+        print()
+        print(stencil.source)
+        return 0
+
+    def progress(job, status):
+        stream = sys.stdout if status == "ok" else sys.stderr
+        print(f"  [{status}] {job.describe()}", file=stream)
+
+    outcome, records = api.fuzz(
+        seed=args.seed,
+        count=args.count,
+        gpus=args.gpus,
+        store=args.store,
+        workers=args.workers,
+        timeout=args.timeout,
+        retries=args.retries,
+        progress=progress if args.verbose else None,
+    )
+    diverged = 0
+    for record in records:
+        payload = record["payload"]
+        passed = record["status"] == "ok" and payload.get("passed", False)
+        if not passed:
+            diverged += 1
+        checks = payload.get("checks", [])
+        verdict = "pass" if passed else ("DIVERGED" if checks else "ERROR")
+        print(
+            f"  {record['pattern']:<14} {record['dtype']:<6} {record['grid']:<10}"
+            f" {len(checks)} checks  {verdict}"
+        )
+        if args.verbose or not passed:
+            for check in checks:
+                status = "ok" if check["passed"] else "FAIL"
+                detail = f"  ({check['detail']})" if check.get("detail") else ""
+                print(f"      [{status}] {check['check']}{detail}")
+            if record["status"] != "ok":
+                print(f"      error: {payload.get('error', record['status'])}")
+    for key, value in outcome.as_row().items():
+        print(f"  {key:>14}: {value}")
+    if outcome.failed:
+        for failure in outcome.failures:
+            print(f"error: job failed: {failure}", file=sys.stderr)
+        return 1
+    if diverged:
+        print(
+            f"error: {diverged} stencil(s) diverged; reproduce any of them with "
+            f"'an5d fuzz --show fuzz-{args.seed}-INDEX'",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_campaign_prune(args: argparse.Namespace) -> int:
     """List or drop results recorded under stale code versions."""
     from repro.campaign import ResultStore
@@ -951,6 +1019,29 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--gpu", default="V100")
     compare_parser.add_argument("--dtype", choices=("float", "double"), default="float")
     compare_parser.set_defaults(func=_cmd_compare)
+
+    fuzz_parser = sub.add_parser(
+        "fuzz", help="differential fuzzing over seeded random stencils"
+    )
+    fuzz_parser.add_argument(
+        "--seed", type=int, default=0, help="campaign seed; fixes every generated stencil"
+    )
+    fuzz_parser.add_argument(
+        "--count", type=int, default=20, help="number of stencils to draw from the seed"
+    )
+    fuzz_parser.add_argument("--gpus", type=_parse_names, default=("V100",))
+    fuzz_parser.add_argument("--store", default="campaign.sqlite")
+    fuzz_parser.add_argument("--workers", type=int, default=1)
+    fuzz_parser.add_argument("--timeout", type=float, default=None, help="per-job seconds")
+    fuzz_parser.add_argument("--retries", type=int, default=1)
+    fuzz_parser.add_argument(
+        "--show",
+        metavar="NAME",
+        default=None,
+        help="print the generated C source for a fuzz-SEED-INDEX name and exit",
+    )
+    fuzz_parser.add_argument("--verbose", "-v", action="store_true")
+    fuzz_parser.set_defaults(func=_cmd_fuzz)
 
     _add_campaign_parsers(sub)
     _add_serve_parser(sub)

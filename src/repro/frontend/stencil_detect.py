@@ -5,6 +5,12 @@ stencil in the normalised polyhedral representation:
 
 * the statement describing array accesses is a singleton with one store, and
   the read addresses are static,
+
+We additionally accept bodies of the form "scalar declarations followed by
+the single assignment" (the multi-statement input form of e.g. FDTD-style
+acoustic-wave updates): each declared temporary is lowered once and inlined
+at its uses, so the detected IR is the same single-statement pattern AN5D
+would see after forward substitution.  The remaining restrictions:
 * each dimension (time and space) is iterated by exactly one loop, with
   multi-dimensional array addressing,
 * spatial iterations are data independent, the time loop is outermost, and
@@ -149,6 +155,21 @@ class _ExpressionLowerer:
         self.array = array
         self.time_var = time_var
         self.spatial_vars = spatial_vars
+        self.env: Dict[str, Expr] = {}
+
+    def define(self, name: str, value: c_ast.CExpr) -> None:
+        """Bind a declared scalar temporary to its lowered expression.
+
+        Later temporaries may reference earlier ones; uses are inlined, so
+        the resulting pattern is the forward-substituted single statement.
+        """
+        if name == self.time_var or name in self.spatial_vars:
+            raise StencilDetectionError(
+                f"temporary {name!r} shadows a loop variable"
+            )
+        if name in self.env:
+            raise StencilDetectionError(f"temporary {name!r} is declared twice")
+        self.env[name] = self.lower(value)
 
     def lower(self, expr: c_ast.CExpr) -> Expr:
         if isinstance(expr, c_ast.NumberLiteral):
@@ -170,6 +191,9 @@ class _ExpressionLowerer:
                 raise StencilDetectionError(f"unsupported call {expr.name!r}")
             return Call(expr.name, tuple(self.lower(a) for a in expr.args))
         if isinstance(expr, c_ast.Identifier):
+            bound = self.env.get(expr.name)
+            if bound is not None:
+                return bound
             raise StencilDetectionError(
                 f"free scalar variable {expr.name!r}: coefficients must be literal constants"
             )
@@ -216,10 +240,22 @@ def detect_stencil(
             "expected a time loop plus at least two spatial loops"
         )
     body = c_ast.innermost_body(nest[-1])
-    statements = [s for s in body if isinstance(s, c_ast.Assignment)]
-    if len(body) != 1 or len(statements) != 1:
-        raise StencilDetectionError("the loop nest body must be a single assignment")
-    assignment = statements[0]
+    if not body or not isinstance(body[-1], c_ast.Assignment):
+        raise StencilDetectionError(
+            "the loop nest body must be scalar declarations followed by a single assignment"
+        )
+    declarations: List[c_ast.Declaration] = []
+    for statement in body[:-1]:
+        if not isinstance(statement, c_ast.Declaration):
+            raise StencilDetectionError(
+                "the loop nest body must be scalar declarations followed by a single assignment"
+            )
+        if statement.value is None:
+            raise StencilDetectionError(
+                f"declared temporary {statement.name!r} must be initialised"
+            )
+        declarations.append(statement)
+    assignment = body[-1]
     if assignment.op != "=":
         raise StencilDetectionError("compound assignment is not a Jacobi stencil update")
 
@@ -238,10 +274,15 @@ def detect_stencil(
             raise StencilDetectionError("store must target the centre cell of each dimension")
 
     lowerer = _ExpressionLowerer(target.array, time_loop.var, spatial_vars)
+    for declaration in declarations:
+        lowerer.define(declaration.name, declaration.value)
     expr = lowerer.lower(assignment.value)
 
     if dtype is None:
-        dtype = "float" if _collect_float_suffix(assignment.value) else "double"
+        values = [declaration.value for declaration in declarations] + [assignment.value]
+        has_float_literal = any(_collect_float_suffix(value) for value in values)
+        has_float_temporary = any(d.dtype == "float" for d in declarations)
+        dtype = "float" if has_float_literal or has_float_temporary else "double"
 
     pattern = StencilPattern(
         name=name,

@@ -77,6 +77,7 @@ def test_run_job_covers_every_kind():
         "predict": JobSpec(
             "predict", "j2d5pt", "V100", "float", SMALL_2D, 50, (("bT", 4), ("bS", (256,)))
         ),
+        "fuzz": JobSpec("fuzz", "fuzz-1-0", "V100", "float", (96, 96), 8),
     }
     assert set(jobs) == set(JOB_KINDS)
     for kind, spec in jobs.items():
@@ -84,6 +85,7 @@ def test_run_job_covers_every_kind():
         assert json.loads(json.dumps(payload)) == payload, kind
     assert run_job(jobs["verify"])["matches"] is True
     assert run_job(jobs["tune"])["tuned_gflops"] > 0
+    assert run_job(jobs["fuzz"])["passed"] is True
 
 
 # -- CampaignSpec expansion -----------------------------------------------------------

@@ -1,0 +1,94 @@
+"""Differential fuzzing campaigns: reproducibility, wire format, and store.
+
+The campaign contract: the same seed reproduces the same stencils, the same
+jobs, the same content addresses, and — because the payloads carry no
+timestamps or environment-dependent fields — byte-identical store exports
+across independent cold runs.  Re-running a seed against the same store is
+answered entirely warm.
+"""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.campaign import CampaignSpec, ResultStore
+from repro.campaign.jobs import run_job
+from repro.stencils.generators import fuzz_name
+
+SEED, COUNT = 11, 4
+
+
+def _cold_run(path):
+    outcome, records = api.fuzz(seed=SEED, count=COUNT, store=path)
+    with ResultStore(path) as store:
+        exported = store.export_records(kind="fuzz")
+    return outcome, records, exported
+
+
+def test_fuzz_exports_are_byte_identical_across_cold_runs(tmp_path):
+    outcome_a, records_a, exported_a = _cold_run(tmp_path / "a.sqlite")
+    outcome_b, records_b, exported_b = _cold_run(tmp_path / "b.sqlite")
+    assert outcome_a.executed == COUNT == outcome_b.executed
+    assert len(exported_a) == COUNT
+    assert json.dumps(exported_a, sort_keys=True) == json.dumps(exported_b, sort_keys=True)
+    assert json.dumps(records_a, sort_keys=True) == json.dumps(records_b, sort_keys=True)
+
+
+def test_fuzz_rerun_is_fully_warm(tmp_path):
+    path = tmp_path / "fuzz.sqlite"
+    cold, _ = api.fuzz(seed=SEED, count=COUNT, store=path)
+    warm, records = api.fuzz(seed=SEED, count=COUNT, store=path)
+    assert cold.executed == COUNT and cold.cached == 0
+    assert warm.cached == warm.total == COUNT and warm.executed == 0
+    assert warm.cache_hit_rate == 1.0
+    assert len(records) == COUNT
+    assert all(record["payload"]["passed"] for record in records)
+    assert all(record["payload"]["divergences"] == 0 for record in records)
+
+
+def test_fuzz_spec_wire_round_trip():
+    spec = CampaignSpec(kinds=("fuzz",), fuzz_seed=7, fuzz_count=5)
+    decoded = CampaignSpec.from_json(spec.to_json())
+    assert decoded == spec
+    assert decoded.key() == spec.key()
+    assert decoded.expand() == spec.expand()
+
+
+def test_plain_spec_wire_format_is_unchanged():
+    # Pre-fuzz campaigns must keep their exact canonical encoding (and so
+    # their content addresses): no fuzz fields leak into their JSON.
+    spec = CampaignSpec(benchmarks=("j2d5pt",), kinds=("tune",))
+    payload = spec.to_json()
+    assert "fuzz_seed" not in payload and "fuzz_count" not in payload
+    assert CampaignSpec.from_json(payload).key() == spec.key()
+
+
+def test_fuzz_kind_and_count_must_agree():
+    with pytest.raises(ValueError):
+        CampaignSpec(kinds=("fuzz",))
+    with pytest.raises(ValueError):
+        CampaignSpec(kinds=("tune",), fuzz_count=3)
+    with pytest.raises(ValueError):
+        CampaignSpec(kinds=("fuzz",), fuzz_seed=0, fuzz_count=-1)
+
+
+def test_fuzz_expansion_is_deterministic():
+    spec = CampaignSpec(kinds=("fuzz",), fuzz_seed=3, fuzz_count=6)
+    jobs = spec.expand()
+    assert [job.pattern for job in jobs] == [fuzz_name(3, index) for index in range(6)]
+    assert all(job.kind == "fuzz" for job in jobs)
+    assert jobs == CampaignSpec(kinds=("fuzz",), fuzz_seed=3, fuzz_count=6).expand()
+
+
+def test_run_fuzz_payload_passes_all_checks():
+    (job,) = CampaignSpec(kinds=("fuzz",), fuzz_seed=5, fuzz_count=1).expand()
+    payload = run_job(job)
+    assert payload["passed"] is True
+    assert payload["divergences"] == 0
+    names = [check["check"] for check in payload["checks"]]
+    assert "frontend_roundtrip" in names
+    assert "compiled_vs_interpreter" in names
+    assert "blocked_vs_reference" in names
+    assert "batch_vs_scalar_model" in names
+    assert all(check["passed"] for check in payload["checks"])

@@ -1,5 +1,8 @@
 """Tests for the benchmark library (Table 3) and the reference executor."""
 
+import math
+import re
+
 import numpy as np
 import pytest
 
@@ -99,6 +102,104 @@ def test_generator_coefficients_are_normalised():
     ]
     assert len(coefficients) == 9
     assert sum(abs(c) for c in coefficients) == pytest.approx(1.0, abs=1e-6)
+
+
+# -- coefficient regression (zero/drifting coefficients) -------------------------
+
+
+@pytest.mark.parametrize("radius", range(1, 9))
+@pytest.mark.parametrize("ndim", (2, 3))
+@pytest.mark.parametrize("family", ("star", "box"))
+def test_every_family_has_positive_unit_sum_coefficients(family, ndim, radius):
+    """Regression: large offsets used to drive raw weights to zero or below,
+    and per-term rounding let the coefficient sum drift from 1."""
+    from repro.stencils.generators import (
+        box_offsets,
+        normalised_terms,
+        star_offsets,
+    )
+
+    offsets = (star_offsets if family == "star" else box_offsets)(ndim, radius)
+    terms = normalised_terms(offsets)
+    assert len(terms) == len(offsets)
+    coefficients = [coefficient for _, coefficient in terms]
+    assert all(coefficient > 0 for coefficient in coefficients), f"{family}{ndim}d{radius}r"
+    assert abs(math.fsum(coefficients) - 1.0) < 1e-9, f"{family}{ndim}d{radius}r"
+
+
+_SOURCE_COEFFICIENT = re.compile(
+    r"([0-9]+(?:\.[0-9]+)?(?:[eE][-+]?[0-9]+)?)f? \* "
+)
+
+
+def _family_sources():
+    """One generated C source per generator family (plus fuzz samples)."""
+    from repro.stencils.generators import (
+        anisotropic_star_stencil_source,
+        box_stencil_source,
+        fdtd_stencil_source,
+        fuzz_stencil,
+        star_stencil_source,
+        variable_star_stencil_source,
+    )
+
+    sources = {}
+    for ndim in (2, 3):
+        for radius in range(1, 9):
+            sources[f"star{ndim}d{radius}r"] = star_stencil_source(ndim, radius)
+            sources[f"box{ndim}d{radius}r"] = box_stencil_source(ndim, radius)
+    sources["astar2d1x3r"] = anisotropic_star_stencil_source((1, 3))
+    sources["astar3d2x1x1r"] = anisotropic_star_stencil_source((2, 1, 1))
+    sources["vstar2d2r-s7"] = variable_star_stencil_source(2, 2, 7)
+    sources["vstar3d2r-s11"] = variable_star_stencil_source(3, 2, 11, dtype="double")
+    sources["fdtd2d"] = fdtd_stencil_source(2)
+    sources["fdtd3d"] = fdtd_stencil_source(3, dtype="double")
+    for index in range(6):
+        stencil = fuzz_stencil(3, index)
+        sources[stencil.name] = stencil.source
+    return sources
+
+
+@pytest.mark.parametrize("name,source", sorted(_family_sources().items()))
+def test_generated_source_has_no_zero_coefficients(name, source):
+    """Regression: every family's emitted C must be free of dead
+    ``0.0f * A[...]`` terms (zero coefficients silently drop a read)."""
+    values = [float(text) for text in _SOURCE_COEFFICIENT.findall(source)]
+    assert values, name
+    assert all(value != 0.0 for value in values), name
+
+
+# -- scenario registry and dynamic names -----------------------------------------
+
+
+def test_scenario_benchmarks_resolve():
+    from repro.stencils.library import scenario_names
+
+    names = scenario_names()
+    assert "fdtd2d" in names and "fdtd3d" in names
+    for name in names:
+        benchmark = get_benchmark(name)
+        pattern = load_pattern(name)
+        assert pattern.ndim == benchmark.ndim, name
+        assert pattern.radius == benchmark.radius, name
+
+
+def test_dynamic_names_resolve_beyond_table3():
+    for name in ("star2d6r", "box2d8r", "astar2d1x2r", "vstar2d1r-s3", "fuzz-7-0"):
+        pattern = load_pattern(name)
+        assert pattern.name == name
+        assert pattern.ndim in (2, 3)
+
+
+def test_box3d_beyond_radius4_is_rejected():
+    with pytest.raises(KeyError):
+        get_benchmark("box3d7r")
+
+
+def test_table3_registry_is_not_polluted_by_dynamic_names():
+    load_pattern("star2d6r")
+    assert "star2d6r" not in BENCHMARKS
+    assert len(BENCHMARKS) == 21
 
 
 # -- reference executor -----------------------------------------------------------------
