@@ -403,7 +403,47 @@ def fuzz(
             stored = result_store.lookup(job)
             if stored is not None:
                 records.append(stored.export_record())
+        # Refresh the per-family/per-check coverage counters from the rows
+        # now in the store (idempotent: warm re-runs rewrite the same
+        # numbers, and the write never touches the exported namespace).
+        fuzz_coverage(result_store)
         return outcome, records
+    finally:
+        if owns_store:
+            result_store.close()
+
+
+def fuzz_coverage(
+    store: Union[str, Path, "ResultStore"],
+) -> List[Dict[str, object]]:
+    """Recompute and persist per-family/per-check fuzz coverage counters.
+
+    The counters are a *derived aggregate*: recomputed wholesale from the
+    store's fuzz rows (the stencil family is re-derived from each job's
+    reproducible ``fuzz-{seed}-{index}`` name), then written with
+    :meth:`~repro.campaign.store.ResultStore.replace_coverage` — so the
+    numbers never drift from the results they summarise, and re-running a
+    warm seed is a no-op.  Returns the refreshed coverage rows.
+    """
+    from repro.campaign import ResultStore
+    from repro.stencils.generators import fuzz_stencil, parse_fuzz_name
+
+    owns_store = not isinstance(store, ResultStore)
+    result_store = ResultStore(store) if owns_store else store
+    try:
+        entries: Dict[Tuple[str, str], Tuple[int, int]] = {}
+        for record in result_store.export_records(ok_only=False, kind="fuzz"):
+            parsed = parse_fuzz_name(str(record["pattern"]))
+            if parsed is None:
+                continue
+            family = fuzz_stencil(*parsed).family
+            payload = record.get("payload") or {}
+            for check in payload.get("checks", ()):
+                key = (family, str(check.get("check", "?")))
+                runs, passed = entries.get(key, (0, 0))
+                entries[key] = (runs + 1, passed + (1 if check.get("passed") else 0))
+        result_store.replace_coverage(entries)
+        return result_store.coverage_rows()
     finally:
         if owns_store:
             result_store.close()
@@ -450,6 +490,8 @@ def serve(
     journal: Optional[Union[str, Path]] = None,
     max_queued: Optional[int] = None,
     reserve_interactive: int = 0,
+    telemetry_interval: Optional[float] = None,
+    telemetry_keep: int = 1000,
 ) -> "CampaignServer":
     """Serve the campaign layer over HTTP (the ``an5d serve`` entry point).
 
@@ -482,6 +524,11 @@ def serve(
     (``POST /results/commit``), spilling to the local ``journal`` file
     whenever the coordinator is unreachable and draining it on reconnect.
     Requires a worker-role ``cluster`` config; ``store`` is ignored.
+
+    ``telemetry_interval`` (seconds) turns on telemetry history: the
+    instance periodically persists its metrics snapshot into the store's
+    timestamped telemetry table (pruned to the newest ``telemetry_keep``
+    rows), surfaced by ``GET /telemetry/history`` and ``an5d top --history``.
     """
     from repro.service import CampaignServer, WorkerSettings
 
@@ -504,6 +551,8 @@ def serve(
         quiet=quiet,
         cluster=cluster,
         advertise_host=advertise_host,
+        telemetry_interval=telemetry_interval,
+        telemetry_keep=telemetry_keep,
     )
     if not block:
         server.start()

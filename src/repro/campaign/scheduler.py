@@ -42,7 +42,7 @@ from repro.campaign.jobs import (
     run_predict_jobs,
 )
 from repro.campaign.store import ResultStore
-from repro.obs import MetricsRegistry, get_registry
+from repro.obs import MetricsRegistry, PROFILER, emit_event, get_registry
 
 
 @dataclass(frozen=True)
@@ -218,6 +218,7 @@ class CampaignScheduler:
         shard_index: int = 0,
         plan: Optional[ShardPlan] = None,
         metrics: Optional[MetricsRegistry] = None,
+        campaign_id: Optional[str] = None,
     ) -> None:
         if plan is None:
             plan = ShardPlan(shards, (shard_index,))
@@ -230,6 +231,9 @@ class CampaignScheduler:
         self.retries = retries
         self.shard_plan = plan
         self.metrics = metrics if metrics is not None else get_registry()
+        #: Campaign content address carried on every per-job lifecycle event,
+        #: so ``GET /campaigns/{id}/stream`` can filter one campaign's jobs.
+        self.campaign_id = campaign_id
 
     @property
     def shards(self) -> int:
@@ -286,16 +290,32 @@ class CampaignScheduler:
         }
 
     # -- execution -------------------------------------------------------------
-    def _observe_job(self, kind: str, status: str, elapsed_s: float) -> None:
+    def _observe_job(self, job: JobSpec, status: str, elapsed_s: float) -> None:
         """Per-job accounting: one observe per *job*, never per config, so
-        the instrumentation cost is invisible next to the job itself."""
+        the instrumentation cost is invisible next to the job itself.
+
+        Besides the metrics, every completion emits a ``job_finished``
+        lifecycle event — the push-stream surface behind
+        ``GET /events/stream`` and ``GET /campaigns/{id}/stream``.
+        """
         self.metrics.counter(
             "jobs_completed_total", "Jobs finished, by kind and status",
             labels=("kind", "status"),
-        ).inc(kind=kind, status=status)
+        ).inc(kind=job.kind, status=status)
         self.metrics.histogram(
             "job_execution_seconds", "Job execution time by kind", labels=("kind",)
-        ).observe(elapsed_s, kind=kind)
+        ).observe(elapsed_s, kind=job.kind)
+        fields: Dict[str, object] = {
+            "key": job.key(),
+            "job": job.describe(),
+            "kind": job.kind,
+            "status": status,
+            "elapsed_s": round(elapsed_s, 4),
+            "shard": self.shard_plan.describe(),
+        }
+        if self.campaign_id is not None:
+            fields["campaign"] = self.campaign_id
+        emit_event("job_finished", **fields)
 
     @staticmethod
     def _payload_configs(kind: str, payload: Dict[str, object]) -> int:
@@ -337,7 +357,7 @@ class CampaignScheduler:
             elapsed = (time.perf_counter() - start) / len(group)
             for job, payload in zip(group, payloads):
                 self.store.put(job, payload, status="ok", elapsed_s=elapsed)
-                self._observe_job(job.kind, "ok", elapsed)
+                self._observe_job(job, "ok", elapsed)
                 evaluated += 1
                 if progress is not None:
                     progress(job, "ok")
@@ -364,7 +384,7 @@ class CampaignScheduler:
         for index, status, payload, elapsed in results:
             job = jobs[index]
             self.store.put(job, payload, status=status, elapsed_s=elapsed)
-            self._observe_job(job.kind, status, elapsed)
+            self._observe_job(job, status, elapsed)
             if status != "ok":
                 if "JobTimeout" in str(payload.get("error", "")):
                     self.metrics.counter(
@@ -410,16 +430,29 @@ class CampaignScheduler:
         executed = len(pending)
         retried = 0
 
-        failed, configs_evaluated = self._run_batch(pending, progress)
-        for _ in range(self.retries):
-            if not failed:
-                break
-            retried += len(failed)
-            self.metrics.counter(
-                "jobs_retried_total", "Failed jobs re-run by the retry loop"
-            ).inc(len(failed))
-            failed, retry_configs = self._run_batch(failed, progress)
-            configs_evaluated += retry_configs
+        started: Dict[str, object] = {
+            "total": total,
+            "cached": len(cached),
+            "pending": len(pending),
+            "shard": self.shard_plan.describe(),
+        }
+        if self.campaign_id is not None:
+            started["campaign"] = self.campaign_id
+        emit_event("campaign_run_started", **started)
+
+        # The scheduler loop is a profiled hot path: a no-op unless the
+        # process-wide profiler has been armed (an5d serve --profile).
+        with PROFILER.window("scheduler.run"):
+            failed, configs_evaluated = self._run_batch(pending, progress)
+            for _ in range(self.retries):
+                if not failed:
+                    break
+                retried += len(failed)
+                self.metrics.counter(
+                    "jobs_retried_total", "Failed jobs re-run by the retry loop"
+                ).inc(len(failed))
+                failed, retry_configs = self._run_batch(failed, progress)
+                configs_evaluated += retry_configs
 
         return CampaignOutcome(
             total=total,

@@ -26,6 +26,7 @@ of each other); a lock serialises its writers.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import sqlite3
 import threading
@@ -42,10 +43,13 @@ from repro.reporting import ResultTable
 
 #: Bump when the stored payload layout changes incompatibly.  Version 2 adds
 #: the cluster tables (instances / submissions / assignments); version 3 adds
-#: the ``leases`` table (coordinator failover).  All cluster tables are
-#: created with ``IF NOT EXISTS``, so an older store upgrades in place the
-#: first time a newer process opens it.
-SCHEMA_VERSION = 3
+#: the ``leases`` table (coordinator failover); version 4 adds the
+#: ``telemetry`` table (periodic metrics snapshots — explicitly timestamped,
+#: deliberately *outside* the content-addressed result namespace so exports
+#: stay byte-identical) and the ``coverage`` table (per-family/per-check fuzz
+#: coverage).  All side tables are created with ``IF NOT EXISTS``, so an
+#: older store upgrades in place the first time a newer process opens it.
+SCHEMA_VERSION = 4
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS results (
@@ -93,6 +97,22 @@ CREATE TABLE IF NOT EXISTS leases (
     holder      TEXT NOT NULL,
     acquired_at REAL NOT NULL,
     expires_at  REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS telemetry (
+    id           INTEGER PRIMARY KEY AUTOINCREMENT,
+    instance_id  TEXT NOT NULL,
+    code_version TEXT NOT NULL,
+    created_at   REAL NOT NULL,
+    snapshot     TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_telemetry_instance
+    ON telemetry (instance_id, created_at);
+CREATE TABLE IF NOT EXISTS coverage (
+    family     TEXT NOT NULL,
+    check_name TEXT NOT NULL,
+    runs       INTEGER NOT NULL DEFAULT 0,
+    passed     INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (family, check_name)
 );
 """
 
@@ -225,7 +245,11 @@ class ResultStore:
         # over *results* (reports, exports) survive the cluster tables' churn
         # (heartbeats land every couple of seconds and must not evict them).
         self._gen_lock = threading.Lock()
-        self._generations: Dict[str, int] = {"results": 0, "cluster": 0}
+        self._generations: Dict[str, int] = {
+            "results": 0,
+            "cluster": 0,
+            "telemetry": 0,
+        }
         self._local = threading.local()
         self._all_connections: List[sqlite3.Connection] = []
         self._shared: Optional[sqlite3.Connection] = None
@@ -302,7 +326,9 @@ class ResultStore:
 
         ``"results"`` moves on every result-table write (put/commit/delete/
         purge); ``"cluster"`` moves on instance/submission/assignment/lease
-        writes.  Read-through caches key on the relevant generation, so a
+        writes; ``"telemetry"`` moves on telemetry-snapshot and coverage
+        writes (its own scope, so periodic snapshots never evict the
+        materialised report/export caches).  Read-through caches key on the relevant generation, so a
         ``commit_records`` upsert invalidates every materialised report and
         export immediately while heartbeat churn leaves them warm.  The
         counter is per process: an external writer on the same store file is
@@ -818,6 +844,122 @@ class ResultStore:
         )
         self._bump_generation("cluster")
         return cursor.rowcount > 0
+
+    # -- telemetry history --------------------------------------------------------
+    # Periodic metrics snapshots, one JSON blob per (instance, tick).  The
+    # table is *explicitly* timestamped — it records when this process saw
+    # these rates — and lives entirely outside the content-addressed result
+    # namespace: nothing here is ever exported, so every export stays
+    # byte-identical no matter how many snapshots accumulate.
+
+    def record_telemetry(
+        self,
+        instance_id: str,
+        snapshot: Dict[str, object],
+        code_version: Optional[str] = None,
+        now: Optional[float] = None,
+    ) -> int:
+        """Persist one metrics snapshot; returns its row id."""
+        timestamp = time.time() if now is None else float(now)
+        version = code_version if code_version is not None else repro.__version__
+        cursor = self._commit(
+            "INSERT INTO telemetry (instance_id, code_version, created_at, snapshot) "
+            "VALUES (?, ?, ?, ?)",
+            (
+                instance_id,
+                version,
+                timestamp,
+                json.dumps(snapshot, sort_keys=True, separators=(",", ":"), default=str),
+            ),
+        )
+        self._bump_generation("telemetry")
+        return int(cursor.lastrowid or 0)
+
+    def telemetry_rows(
+        self,
+        instance_id: Optional[str] = None,
+        code_version: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, object]]:
+        """Snapshots, newest first (optionally filtered, optionally capped)."""
+        sql = (
+            "SELECT id, instance_id, code_version, created_at, snapshot "
+            "FROM telemetry"
+        )
+        clauses: List[str] = []
+        args: List[object] = []
+        if instance_id is not None:
+            clauses.append("instance_id = ?")
+            args.append(instance_id)
+        if code_version is not None:
+            clauses.append("code_version = ?")
+            args.append(code_version)
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY created_at DESC, id DESC"
+        if limit is not None:
+            sql += " LIMIT ?"
+            args.append(int(limit))
+        return [
+            {
+                "id": row[0],
+                "instance_id": row[1],
+                "code_version": row[2],
+                "created_at": row[3],
+                "snapshot": json.loads(row[4]),
+            }
+            for row in self._conn.execute(sql, args)
+        ]
+
+    def prune_telemetry(self, keep_last: int) -> int:
+        """Drop all but the newest ``keep_last`` snapshots (bounded history)."""
+        self._bump_generation("telemetry")
+        return self._commit(
+            "DELETE FROM telemetry WHERE id NOT IN "
+            "(SELECT id FROM telemetry ORDER BY created_at DESC, id DESC LIMIT ?)",
+            (max(0, int(keep_last)),),
+        ).rowcount
+
+    # -- fuzz coverage ------------------------------------------------------------
+    def replace_coverage(
+        self, entries: Dict[Tuple[str, str], Tuple[int, int]]
+    ) -> None:
+        """Replace the per-(family, check) coverage counters wholesale.
+
+        The counters are an idempotent *derived* aggregate — recomputed from
+        the fuzz rows in the results table after each fuzz campaign — so a
+        warm re-run rewrites identical numbers instead of double-counting.
+        """
+        start = time.perf_counter()
+        conn = self._conn
+        lock = (
+            self._write_lock if self._shared is not None else contextlib.nullcontext()
+        )
+        with lock:
+            conn.execute("DELETE FROM coverage")
+            conn.executemany(
+                "INSERT INTO coverage (family, check_name, runs, passed) "
+                "VALUES (?, ?, ?, ?)",
+                [
+                    (family, check, int(runs), int(passed))
+                    for (family, check), (runs, passed) in sorted(entries.items())
+                ],
+            )
+            conn.commit()
+        self._bump_generation("telemetry")
+        self.metrics.histogram(
+            "store_commit_seconds", "SQLite write-and-commit latency per call"
+        ).observe(time.perf_counter() - start)
+
+    def coverage_rows(self) -> List[Dict[str, object]]:
+        """Coverage counters in (family, check) order."""
+        return [
+            {"family": row[0], "check": row[1], "runs": row[2], "passed": row[3]}
+            for row in self._conn.execute(
+                "SELECT family, check_name, runs, passed FROM coverage "
+                "ORDER BY family, check_name"
+            )
+        ]
 
     # -- code-version maintenance ------------------------------------------------
     def code_versions(self) -> Dict[str, int]:

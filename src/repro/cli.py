@@ -32,6 +32,17 @@ Subcommands
     and the CLI subcommands above are interchangeable.  ``--cluster`` (plus
     ``--instance-id``/``--role``) joins the store's cluster: the instance
     registers itself, heartbeats, and accepts coordinator shard assignments.
+``an5d top [--watch N | --follow | --history]``
+    Cluster-wide throughput/latency view scraped from ``/metrics``;
+    ``--follow`` tails the server's push event stream instead of polling,
+    ``--history`` renders the store's telemetry snapshots plus the
+    regression-delta report across runs and code versions.
+``an5d campaign watch <id>``
+    Tail one campaign's push stream: every per-job completion as it lands,
+    ending with the terminal run summary.
+``an5d profile [--url ... --seconds 2]``
+    Sampling profiler: folded stacks (flamegraph collapse format) from a
+    running service's ``GET /profile`` (or this process with ``--url ''``).
 ``an5d cluster up|coordinator|status|submit``
     Horizontal scale-out: boot N workers + a coordinator in one process
     (``up``), run a dedicated coordinator (``coordinator``), inspect
@@ -354,6 +365,14 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                 print(f"      [{status}] {check['check']}{detail}")
             if record["status"] != "ok":
                 print(f"      error: {payload.get('error', record['status'])}")
+    coverage = api.fuzz_coverage(args.store)
+    if coverage:
+        print("  coverage (family x check, from the store's fuzz rows):")
+        for row in coverage:
+            print(
+                f"    {row['family']:<8} {row['check']:<26} "
+                f"{row['passed']}/{row['runs']} passed"
+            )
     for key, value in outcome.as_row().items():
         print(f"  {key:>14}: {value}")
     if outcome.failed:
@@ -368,6 +387,61 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def _cmd_campaign_watch(args: argparse.Namespace) -> int:
+    """Consume one campaign's push stream: per-job lines as they land."""
+    from repro.obs.top import stream_records
+
+    query = f"?timeout={args.timeout}"
+    if args.wait:
+        query += "&wait=1"
+    url = f"{args.url.rstrip('/')}/campaigns/{args.id}/stream{query}"
+    finished = False
+    failed = False
+    for record in stream_records(url, timeout=max(args.timeout, 30.0)):
+        event = record.get("event")
+        if event == "stream_open":
+            print(
+                f"streaming campaign {record.get('campaign')} "
+                f"(state: {record.get('state')})"
+            )
+            if record.get("state") in ("done", "failed"):
+                finished = True
+                failed = record.get("state") == "failed"
+        elif event == "campaign_run_started":
+            print(
+                f"  run started: {record.get('pending')} pending of "
+                f"{record.get('total')} ({record.get('cached')} cached)"
+            )
+        elif event == "job_finished":
+            status = record.get("status")
+            stream = sys.stdout if status == "ok" else sys.stderr
+            print(
+                f"  [{status}] {record.get('job')} ({record.get('elapsed_s')}s)",
+                file=stream,
+            )
+        elif event == "campaign_run_finished":
+            finished = True
+            failed = not record.get("ok", False)
+            print(
+                f"run finished: ok={record.get('ok')} "
+                f"executed={record.get('executed')} cached={record.get('cached')} "
+                f"failed={record.get('failed')} in {record.get('duration_s')}s"
+            )
+        elif event == "campaign_failed":
+            finished = True
+            failed = True
+            print(
+                f"error: campaign failed: "
+                f"{record.get('detail') or record.get('error_class')}",
+                file=sys.stderr,
+            )
+        sys.stdout.flush()
+    if not finished:
+        print("error: stream ended before the campaign finished", file=sys.stderr)
+        return 1
+    return 1 if failed else 0
 
 
 def _cmd_campaign_prune(args: argparse.Namespace) -> int:
@@ -513,6 +587,23 @@ def _add_campaign_parsers(sub: argparse._SubParsersAction) -> None:
     )
     export_parser.set_defaults(func=_cmd_campaign_export)
 
+    watch_parser = campaign_sub.add_parser(
+        "watch", help="tail one campaign's push stream (per-job completions)"
+    )
+    watch_parser.add_argument("id", help="campaign id (from POST /campaigns)")
+    watch_parser.add_argument(
+        "--url", default="http://127.0.0.1:8000", help="the serving instance"
+    )
+    watch_parser.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="stream lifetime cap in seconds (server-side)",
+    )
+    watch_parser.add_argument(
+        "--wait", action="store_true",
+        help="subscribe even before the id is known (stream ahead of submission)",
+    )
+    watch_parser.set_defaults(func=_cmd_campaign_watch)
+
     prune_parser = campaign_sub.add_parser(
         "prune", help="list or drop results from stale code versions"
     )
@@ -553,7 +644,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if event_log:
         from repro.obs import EVENTS
 
-        EVENTS.configure(event_log)
+        EVENTS.configure(
+            event_log,
+            max_bytes=getattr(args, "event_log_max_bytes", None),
+            keep_rotated=getattr(args, "event_log_keep", 3),
+        )
+    if getattr(args, "profile", False):
+        from repro.obs import arm_profiler
+
+        arm_profiler(hz=getattr(args, "profile_hz", None))
     role = getattr(args, "role", "worker")
     coordinator_url = getattr(args, "coordinator_url", None)
     cluster = None
@@ -589,6 +688,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         quiet=not args.verbose,
         cluster=cluster,
         advertise_host=getattr(args, "advertise_host", None),
+        telemetry_interval=getattr(args, "telemetry_interval", None),
+        telemetry_keep=getattr(args, "telemetry_keep", 1000),
     )
     shown_store = server.app.store.path if coordinator_url is not None else args.store
     print(f"an5d campaign service on {server.url} (store: {shown_store})")
@@ -698,9 +799,104 @@ def _add_serve_parser(sub: argparse._SubParsersAction) -> None:
         help="append structured JSONL events to this file (also honours the "
         "AN5D_EVENT_LOG environment variable)",
     )
+    serve_parser.add_argument(
+        "--event-log-max-bytes", type=int, default=None, metavar="BYTES",
+        help="rotate the event-log file once it exceeds BYTES "
+        "(<path>.1 ... <path>.N, oldest deleted)",
+    )
+    serve_parser.add_argument(
+        "--event-log-keep", type=int, default=3, metavar="N",
+        help="rotated event-log generations to keep (default: 3)",
+    )
+    serve_parser.add_argument(
+        "--telemetry-interval", type=float, default=None, metavar="SECS",
+        help="persist a metrics snapshot into the store's telemetry table "
+        "every SECS seconds (surfaced by GET /telemetry/history and "
+        "'an5d top --history')",
+    )
+    serve_parser.add_argument(
+        "--telemetry-keep", type=int, default=1000, metavar="N",
+        help="telemetry snapshots to retain (default: 1000)",
+    )
+    serve_parser.add_argument(
+        "--profile", action="store_true",
+        help="arm the sampling profiler: scheduler/engine hot paths record "
+        "folded stacks, ready for GET /profile and 'an5d profile'",
+    )
+    serve_parser.add_argument(
+        "--profile-hz", type=float, default=None,
+        help="profiler sampling rate when armed (default: 97 Hz)",
+    )
     _add_cluster_serve_arguments(serve_parser)
     serve_parser.add_argument("--verbose", "-v", action="store_true", help="log requests")
     serve_parser.set_defaults(func=_cmd_serve)
+
+
+def _cmd_top_history(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.top import render_history
+
+    store_path = getattr(args, "store", None)
+    if store_path:
+        # Offline mode: read the telemetry table straight from the store —
+        # the post-run regression view needs no live server.
+        from repro.campaign import ResultStore
+
+        store = ResultStore(store_path)
+        try:
+            rows = store.telemetry_rows(limit=args.limit)
+        finally:
+            store.close()
+        print(render_history(rows))
+        return 0
+    import urllib.request
+
+    url = f"{args.url.rstrip('/')}/telemetry/history?limit={args.limit}"
+    with urllib.request.urlopen(url, timeout=args.timeout) as response:
+        payload = json.loads(response.read())
+    print(
+        render_history(
+            payload.get("snapshots", []),
+            payload.get("deltas"),
+            payload.get("code_versions"),
+        )
+    )
+    return 0
+
+
+def _cmd_top_follow(args: argparse.Namespace) -> int:
+    from repro.obs.top import collect, render, stream_records
+
+    url = args.url.rstrip("/")
+    rows = collect(url, timeout=args.timeout)
+    print(render(rows))
+    kinds = "job_finished,campaign_run_started,campaign_run_finished,campaign_failed"
+    stream_url = f"{url}/events/stream?event={kinds}"
+    print(f"following {stream_url} (ctrl-c to stop)")
+    sys.stdout.flush()
+    try:
+        for record in stream_records(stream_url, timeout=max(args.timeout, 30.0)):
+            event = record.get("event")
+            if event == "job_finished":
+                print(
+                    f"  [{record.get('status')}] {record.get('job')} "
+                    f"({record.get('elapsed_s')}s)"
+                )
+            elif event == "campaign_run_started":
+                print(
+                    f"  campaign {record.get('campaign', '?')}: "
+                    f"{record.get('pending')} pending of {record.get('total')} "
+                    f"({record.get('cached')} cached)"
+                )
+            else:  # terminal campaign events: refresh the cluster table
+                print(f"  {event}: {record.get('campaign', '?')}")
+                previous, rows = rows, collect(url, timeout=args.timeout)
+                print(render(rows, previous=previous))
+            sys.stdout.flush()
+    except KeyboardInterrupt:  # pragma: no cover — interactive only
+        pass
+    return 0
 
 
 def _cmd_top(args: argparse.Namespace) -> int:
@@ -708,6 +904,10 @@ def _cmd_top(args: argparse.Namespace) -> int:
 
     from repro.obs.top import collect, render
 
+    if args.history:
+        return _cmd_top_history(args)
+    if args.follow:
+        return _cmd_top_follow(args)
     url = args.url.rstrip("/")
     rows = collect(url, timeout=args.timeout)
     print(render(rows))
@@ -747,7 +947,77 @@ def _add_top_parser(sub: argparse._SubParsersAction) -> None:
         help="stop after N refreshes in --watch mode (0 = until interrupted)",
     )
     top_parser.add_argument("--timeout", type=float, default=5.0, help="scrape timeout")
+    top_parser.add_argument(
+        "--follow", action="store_true",
+        help="push mode: render once, then tail the server's event stream "
+        "(per-job completions as they land) instead of polling",
+    )
+    top_parser.add_argument(
+        "--history", action="store_true",
+        help="render the persisted telemetry snapshots and the "
+        "regression-delta report across runs and code versions",
+    )
+    top_parser.add_argument(
+        "--store", default=None,
+        help="with --history: read the telemetry table from this store "
+        "file directly instead of a live server",
+    )
+    top_parser.add_argument(
+        "--limit", type=int, default=50,
+        help="with --history: newest snapshots to show (default: 50)",
+    )
     top_parser.set_defaults(func=_cmd_top)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Sample a running service (or this process) into folded stacks."""
+    if args.url:
+        import urllib.request
+
+        url = (
+            f"{args.url.rstrip('/')}/profile?seconds={args.seconds}"
+            + (f"&hz={args.hz}" if args.hz else "")
+        )
+        with urllib.request.urlopen(url, timeout=args.seconds + 30.0) as response:
+            body = response.read().decode("utf-8")
+            samples = response.headers.get("X-Profile-Samples", "?")
+    else:
+        from repro.obs import profile_for
+
+        body, samples = profile_for(
+            args.seconds, **({"hz": args.hz} if args.hz else {})
+        )
+        if body and not body.endswith("\n"):
+            body += "\n"
+    if args.output:
+        Path(args.output).write_text(body, encoding="utf-8")
+        print(f"{samples} samples over {args.seconds}s -> {args.output}")
+    else:
+        sys.stdout.write(body)
+        print(f"# {samples} samples over {args.seconds}s", file=sys.stderr)
+    return 0
+
+
+def _add_profile_parser(sub: argparse._SubParsersAction) -> None:
+    profile_parser = sub.add_parser(
+        "profile",
+        help="sampling profiler: folded stacks (flamegraph collapse format)",
+    )
+    profile_parser.add_argument(
+        "--url", default="http://127.0.0.1:8000",
+        help="service to sample via GET /profile ('' samples this process)",
+    )
+    profile_parser.add_argument(
+        "--seconds", type=float, default=2.0, help="sampling window length"
+    )
+    profile_parser.add_argument(
+        "--hz", type=float, default=None, help="sampling rate (default: 97 Hz)"
+    )
+    profile_parser.add_argument(
+        "--output", "-o", default=None,
+        help="write folded stacks here (pipe into flamegraph.pl)",
+    )
+    profile_parser.set_defaults(func=_cmd_profile)
 
 
 # -- cluster subcommands ----------------------------------------------------------
@@ -1046,6 +1316,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_campaign_parsers(sub)
     _add_serve_parser(sub)
     _add_top_parser(sub)
+    _add_profile_parser(sub)
     _add_cluster_parsers(sub)
 
     return parser

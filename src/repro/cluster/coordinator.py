@@ -317,6 +317,13 @@ class ClusterCoordinator:
                 for index, owner in assigned.items():
                     self.store.set_assignment(sid, index, owner)
                 self.store.update_submission(sid, "dispatched")
+                emit_event(
+                    "campaign_fanned_out",
+                    campaign=sid,
+                    shards=shards,
+                    instances=sorted(set(assigned.values())),
+                    reassigned=reassigned,
+                )
                 return
             bad |= failures
             for index, owner in list(assigned.items()):

@@ -18,7 +18,20 @@ can instrument itself without import cycles or new dependencies.
 """
 
 from repro.obs.cache import SingleFlightCache
-from repro.obs.events import EVENTS, EventLog, emit_event, record_suppressed
+from repro.obs.events import (
+    EVENTS,
+    EventLog,
+    EventSubscription,
+    emit_event,
+    record_suppressed,
+)
+from repro.obs.profile import (
+    PROFILER,
+    SamplingProfiler,
+    arm_profiler,
+    disarm_profiler,
+    profile_for,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -45,19 +58,25 @@ __all__ = [
     "Counter",
     "EVENTS",
     "EventLog",
+    "EventSubscription",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_REGISTRY",
+    "PROFILER",
     "SPANS",
+    "SamplingProfiler",
     "SingleFlightCache",
     "SpanStore",
     "TraceContext",
+    "arm_profiler",
     "context_from_wire",
     "context_to_wire",
     "current_trace",
+    "disarm_profiler",
     "emit_event",
     "get_registry",
+    "profile_for",
     "new_span_id",
     "new_trace_id",
     "parse_prometheus",

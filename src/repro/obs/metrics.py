@@ -66,6 +66,17 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _format_exemplar(exemplar: Optional[Tuple[str, float]]) -> str:
+    """OpenMetrics exemplar suffix (`` # {trace_id="..."} value``), or ``""``.
+
+    No timestamp field — same policy as the rest of the wire surface.
+    """
+    if exemplar is None:
+        return ""
+    trace_id, value = exemplar
+    return f' # {{trace_id="{_escape(trace_id)}"}} {_format_value(value)}'
+
+
 class _Metric:
     """Base: one named metric holding one series per label-value tuple."""
 
@@ -174,8 +185,14 @@ class Histogram(_Metric):
         self.edges = edges
         # Per series: [bucket counts... , +Inf count], total count, sum.
         self._series: Dict[Tuple[str, ...], List[object]] = {}
+        # Per series: bucket index -> (trace id, observed value) — the most
+        # recent OpenMetrics exemplar for that bucket, so a scrape links a
+        # bad p99 bucket straight to ``GET /trace/{id}``.
+        self._exemplars: Dict[Tuple[str, ...], Dict[int, Tuple[str, float]]] = {}
 
-    def observe(self, value: float, **labels: object) -> None:
+    def observe(
+        self, value: float, exemplar: Optional[str] = None, **labels: object
+    ) -> None:
         key = _label_key(self.labels, labels)
         index = bisect.bisect_left(self.edges, float(value))
         with self._lock:
@@ -186,6 +203,11 @@ class Histogram(_Metric):
             series[0][index] += 1
             series[1] += 1
             series[2] += float(value)
+            if exemplar:
+                self._exemplars.setdefault(key, {})[index] = (
+                    str(exemplar),
+                    float(value),
+                )
 
     def count(self, **labels: object) -> int:
         with self._lock:
@@ -223,18 +245,22 @@ class Histogram(_Metric):
                 (key, list(series[0]), int(series[1]), float(series[2]))
                 for key, series in self._series.items()
             )
+            exemplars = {key: dict(value) for key, value in self._exemplars.items()}
         names = self.labels + ("le",)
         for values, counts, total, total_sum in items:
+            series_exemplars = exemplars.get(values, {})
             cumulative = 0
-            for edge, count in zip(self.edges, counts):
+            for index, (edge, count) in enumerate(zip(self.edges, counts)):
                 cumulative += count
                 lines.append(
                     f"{self.name}_bucket"
                     f"{_format_labels(names, values + (_format_value(edge),))}"
                     f" {cumulative}"
+                    + _format_exemplar(series_exemplars.get(index))
                 )
             lines.append(
                 f"{self.name}_bucket{_format_labels(names, values + ('+Inf',))} {total}"
+                + _format_exemplar(series_exemplars.get(len(self.edges)))
             )
             base = _format_labels(self.labels, values)
             lines.append(f"{self.name}_sum{base} {_format_value(total_sum)}")
@@ -408,6 +434,10 @@ _SAMPLE_RE = re.compile(
 )
 _LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 
+#: `` # {trace_id="..."} 0.0042`` — an OpenMetrics exemplar suffix on a
+#: sample line (optionally with a trailing timestamp, per the spec).
+_EXEMPLAR_RE = re.compile(r"\s+#\s+\{[^}]*\}\s+[^\s]+(?:\s+[^\s]+)?\s*$")
+
 
 def parse_prometheus(text: str) -> Dict[str, List[Tuple[Dict[str, str], float]]]:
     """Parse Prometheus text format into ``{name: [(labels, value), ...]}``.
@@ -422,7 +452,11 @@ def parse_prometheus(text: str) -> Dict[str, List[Tuple[Dict[str, str], float]]]
             continue
         match = _SAMPLE_RE.match(line)
         if match is None:
-            raise ValueError(f"line {number} is not a Prometheus sample: {line!r}")
+            # An exemplar-bearing bucket line: strip the suffix and retry.
+            stripped = _EXEMPLAR_RE.sub("", line)
+            match = _SAMPLE_RE.match(stripped) if stripped != line else None
+            if match is None:
+                raise ValueError(f"line {number} is not a Prometheus sample: {line!r}")
         labels: Dict[str, str] = {}
         raw = match.group("labels")
         if raw:

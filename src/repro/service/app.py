@@ -21,11 +21,13 @@ campaign execution.  Bind to port ``0`` for an ephemeral port (tests, CI).
 
 from __future__ import annotations
 
+import json
 import socket
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 from urllib.parse import parse_qsl, urlsplit
 
 import repro
@@ -34,12 +36,24 @@ from repro.campaign.store import ResultStore
 from repro.cluster.coordinator import ClusterCoordinator
 from repro.cluster.registry import ClusterConfig, InstanceRegistry
 from repro.cluster.remote import RemoteStore
-from repro.obs import SPANS, MetricsRegistry, SingleFlightCache, record_suppressed, span
+from repro.obs import (
+    EVENTS,
+    SPANS,
+    MetricsRegistry,
+    SingleFlightCache,
+    profile_for,
+    record_suppressed,
+    span,
+)
+from repro.obs.events import EventSubscription
+from repro.obs.profile import DEFAULT_HZ as PROFILE_HZ
+from repro.obs.top import code_version_report, telemetry_deltas
 from repro.service.hotcache import HotModelCache
 from repro.service.routes import Request, Response, dispatch, route_table
 from repro.service.worker import CampaignWorker, QueueFull, WorkerSettings
 from repro.service.wire import (
     JSONL_TYPE,
+    TEXT_TYPE,
     WireError,
     decode_assignment,
     decode_instance_id,
@@ -57,6 +71,19 @@ from repro.service.wire import (
 #: Prometheus text exposition content type served by ``GET /metrics``.
 METRICS_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
+#: Event kinds a campaign stream delivers, and the ones that end it.
+_CAMPAIGN_STREAM_EVENTS = frozenset(
+    {"campaign_run_started", "job_finished", "campaign_run_finished", "campaign_failed"}
+)
+_CAMPAIGN_TERMINAL_EVENTS = frozenset({"campaign_run_finished", "campaign_failed"})
+
+
+def _event_line(record: Dict[str, object]) -> bytes:
+    """One stream record as a canonical JSONL line."""
+    return (
+        json.dumps(record, sort_keys=True, separators=(",", ":"), default=str) + "\n"
+    ).encode("utf-8")
+
 
 class CampaignApp:
     """Endpoint handlers over one store, one worker and (optionally) a cluster."""
@@ -67,11 +94,25 @@ class CampaignApp:
         settings: Optional[WorkerSettings] = None,
         cluster: Optional[ClusterConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
+        telemetry_interval: Optional[float] = None,
+        telemetry_keep: int = 1000,
     ) -> None:
         # Each app gets its *own* registry by default (injectable, like the
         # cluster layer's clocks): in-process multi-instance topologies then
         # serve genuinely per-instance /metrics, and tests assert exact counts.
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Most recent trace id seen by any span-opening handler; attached to
+        # the request-latency histogram as an OpenMetrics exemplar so a
+        # scrape links straight into ``GET /trace/{id}``.
+        self.last_trace_id: Optional[str] = None
+        # Telemetry history: with an interval, a background thread persists
+        # ``metrics.snapshot()`` into the store's (timestamped, non-exported)
+        # telemetry table every ``telemetry_interval`` seconds, pruned to the
+        # newest ``telemetry_keep`` rows.
+        self.telemetry_interval = telemetry_interval
+        self.telemetry_keep = int(telemetry_keep)
+        self._telemetry_stop = threading.Event()
+        self._telemetry_thread: Optional[threading.Thread] = None
         self._owns_store = not isinstance(store, (ResultStore, RemoteStore))
         if self._owns_store:
             self.store = ResultStore(store, metrics=self.metrics)
@@ -143,6 +184,12 @@ class CampaignApp:
 
     def start(self) -> None:
         self.worker.start()
+        if self.telemetry_interval and self.store_native:
+            self._telemetry_stop.clear()
+            self._telemetry_thread = threading.Thread(
+                target=self._telemetry_loop, name="telemetry-snapshots", daemon=True
+            )
+            self._telemetry_thread.start()
         if self.cluster is None:
             return
         if self._endpoint is None:
@@ -196,6 +243,48 @@ class CampaignApp:
                     instance=self.cluster.instance_id,
                 )
 
+    def _instance_label(self) -> str:
+        """How this instance identifies itself in telemetry rows."""
+        if self.cluster is not None:
+            return self.cluster.instance_id
+        if self._endpoint is not None:
+            host, port = self._endpoint
+            return f"{host}:{port}"
+        return "solo"
+
+    def _telemetry_loop(self) -> None:
+        while not self._telemetry_stop.wait(self.telemetry_interval):
+            self.record_telemetry_snapshot()
+
+    def record_telemetry_snapshot(self) -> Optional[int]:
+        """Persist one metrics snapshot into the store's telemetry table.
+
+        Deliberately *outside* the content-addressed results namespace (its
+        rows are explicitly timestamped), so exports stay byte-identical no
+        matter how much history accumulates; the write bumps only the
+        ``telemetry`` generation, leaving report/export caches warm.
+        """
+        if not self.store_native:
+            return None
+        try:
+            row_id = self.store.record_telemetry(
+                self._instance_label(),
+                self.metrics.snapshot(),
+                code_version=repro.__version__,
+            )
+            if self.telemetry_keep > 0:
+                self.store.prune_telemetry(self.telemetry_keep)
+            return row_id
+        except Exception as error:  # noqa: BLE001 — history must not kill serving
+            record_suppressed("app.telemetry_snapshot", error, metrics=self.metrics)
+            return None
+
+    def _stop_telemetry(self) -> None:
+        self._telemetry_stop.set()
+        if self._telemetry_thread is not None:
+            self._telemetry_thread.join(timeout=5.0)
+            self._telemetry_thread = None
+
     def _stop_cluster(self, deregister: bool) -> None:
         self._cluster_stop.set()
         for thread in self._cluster_threads:
@@ -227,6 +316,11 @@ class CampaignApp:
         # lapse.
         self._stop_cluster(deregister=True)
         stopped = self.worker.stop()
+        if self._telemetry_thread is not None:
+            # One final snapshot so short-lived serves still leave history.
+            self._stop_telemetry()
+            if stopped:
+                self.record_telemetry_snapshot()
         if isinstance(self.store, RemoteStore) and stopped:
             # Final journal drain (best effort) + flush-thread shutdown.
             self.store.close()
@@ -243,6 +337,7 @@ class CampaignApp:
         exactly what a SIGKILL leaves — so coordinator re-assignment can be
         exercised in-process.
         """
+        self._stop_telemetry()
         self._stop_cluster(deregister=False)
         self.worker.kill()
 
@@ -285,12 +380,161 @@ class CampaignApp:
             raise WireError(f"unknown trace {tid!r}", status=404)
         return Response.json(tree)
 
+    # -- live observability plane -----------------------------------------------
+    def profile_endpoint(self, request: Request) -> Response:
+        """Sample this process for N seconds; folded-stack (collapse) text.
+
+        Blocks one handler thread for the window — fine under the threading
+        server — and shares the refcounted process profiler, so concurrent
+        windows and armed hot paths compose.
+        """
+        seconds = float(request.param("seconds", "2"))
+        if not 0.0 < seconds <= 60.0:
+            raise WireError("seconds must be in (0, 60]")
+        hz = float(request.param("hz", str(PROFILE_HZ)))
+        folded, samples = profile_for(seconds, hz=hz, metrics=self.metrics)
+        body = folded.encode("utf-8")
+        if body and not body.endswith(b"\n"):
+            body += b"\n"
+        return Response(
+            body=body,
+            content_type=TEXT_TYPE,
+            headers={"X-Profile-Samples": str(samples)},
+        )
+
+    def _stream_response(
+        self,
+        subscription: EventSubscription,
+        timeout_s: float,
+        max_events: int = 0,
+        opening: Optional[Dict[str, object]] = None,
+        terminal: Optional[Callable[[Dict[str, object]], bool]] = None,
+    ) -> Response:
+        """Chunked JSONL push stream over one event subscription.
+
+        The subscriber's queue is bounded and fed with ``put_nowait`` on the
+        emitting thread, so a stalled (or dead) reader can never wedge a
+        worker: overflow is dropped and counted on this instance's registry
+        as ``stream_dropped_total{reason="slow_subscriber"}``.  Idle seconds
+        emit a blank keep-alive line, which doubles as prompt dead-client
+        detection; the subscription is detached however the stream ends.
+        """
+        drops = self.metrics.counter(
+            "stream_dropped_total",
+            "Events dropped because a stream subscriber was too slow",
+            labels=("reason",),
+        )
+
+        def generate() -> Iterator[bytes]:
+            sent = 0
+            dropped_seen = 0
+            deadline = time.monotonic() + timeout_s
+            try:
+                if opening is not None:
+                    yield _event_line(opening)
+                while True:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return
+                    record = subscription.get(timeout=min(1.0, remaining))
+                    if subscription.dropped > dropped_seen:
+                        drops.inc(
+                            subscription.dropped - dropped_seen,
+                            reason="slow_subscriber",
+                        )
+                        dropped_seen = subscription.dropped
+                    if record is None:
+                        if subscription.closed:
+                            return
+                        yield b"\n"
+                        continue
+                    yield _event_line(record)
+                    sent += 1
+                    if terminal is not None and terminal(record):
+                        return
+                    if max_events and sent >= max_events:
+                        return
+            finally:
+                subscription.close()
+
+        return Response(content_type=JSONL_TYPE, stream=generate())
+
+    def events_stream(self, request: Request) -> Response:
+        """Long-lived push stream of this instance's structured events.
+
+        ``?event=a,b`` filters to the named kinds; ``?timeout=`` bounds the
+        stream's lifetime; ``?max_events=`` ends it after N deliveries
+        (tests, scripted consumers).
+        """
+        raw_kinds = request.query.get("event", "")
+        kinds = frozenset(kind for kind in raw_kinds.split(",") if kind) or None
+        timeout_s = min(float(request.param("timeout", "3600")), 86400.0)
+        max_events = int(request.param("max_events", "0"))
+        subscription = EVENTS.subscribe(events=kinds)
+        return self._stream_response(subscription, timeout_s, max_events)
+
+    def campaign_stream(self, request: Request, cid: str) -> Response:
+        """Push stream of one campaign's lifecycle: every per-job completion
+        as it lands, ending with the terminal ``campaign_run_finished`` (or
+        ``campaign_failed``) line.
+
+        Subscribes *before* reading the campaign's state, so a completion
+        racing the request is never missed; ``?wait=1`` allows subscribing
+        ahead of submission (the id is then taken on faith).
+        """
+        wait = request.param("wait", "0") not in ("0", "", "false", "no")
+        timeout_s = min(float(request.param("timeout", "600")), 86400.0)
+        max_events = int(request.param("max_events", "0"))
+        subscription = EVENTS.subscribe(
+            events=_CAMPAIGN_STREAM_EVENTS,
+            predicate=lambda record: record.get("campaign") == cid,
+        )
+        status = self.worker.status(cid)
+        if status is None and not wait:
+            subscription.close()
+            raise WireError(
+                f"unknown campaign {cid!r} (pass wait=1 to stream ahead of "
+                "submission)",
+                status=404,
+            )
+        state = str(status.get("state", "unknown")) if status else "unknown"
+        if status is not None and state in ("done", "failed") and not wait:
+            # Already terminal: nothing will ever arrive — close now so the
+            # stream is just the opening line instead of a timeout wait.
+            subscription.close()
+        opening = {"event": "stream_open", "campaign": cid, "state": state}
+        return self._stream_response(
+            subscription,
+            timeout_s,
+            max_events,
+            opening=opening,
+            terminal=lambda record: record.get("event") in _CAMPAIGN_TERMINAL_EVENTS,
+        )
+
+    def telemetry_history(self, request: Request) -> Response:
+        """Persisted metrics snapshots plus the regression-delta report."""
+        store = self._require_store_native()
+        limit = int(request.param("limit", "50"))
+        rows = store.telemetry_rows(
+            instance_id=request.query.get("instance"),
+            code_version=request.query.get("code_version"),
+            limit=limit,
+        )
+        return Response.json(
+            {
+                "snapshots": rows,
+                "deltas": telemetry_deltas(rows),
+                "code_versions": code_version_report(rows),
+            }
+        )
+
     # -- interactive fast path --------------------------------------------------
     def predict_endpoint(self, request: Request) -> Response:
         """Synchronous model prediction from the hot cache (no queue, no store)."""
         spec, trace = decode_predict_request(request.body)
         with span("predict.sync", parent=trace, job=spec.key()[:12]) as ctx:
             payload, hit = self.hot.predict(spec)
+        self.last_trace_id = ctx.trace_id
         return Response.json(
             {
                 "kind": "predict",
@@ -306,6 +550,7 @@ class CampaignApp:
         spec, trace = decode_tune_request(request.body)
         with span("tune.sync", parent=trace, job=spec.key()[:12]) as ctx:
             payload, hit = self.hot.tune(spec)
+        self.last_trace_id = ctx.trace_id
         return Response.json(
             {
                 "kind": "tune",
@@ -332,6 +577,7 @@ class CampaignApp:
                 record = self.worker.submit(spec, trace=ctx)
             except QueueFull as error:
                 return self._queue_full(error)
+        self.last_trace_id = ctx.trace_id
         payload = {
             "id": record.id,
             "state": record.state,
@@ -356,6 +602,7 @@ class CampaignApp:
                 record = self.worker.submit(spec, plan=plan, trace=ctx)
             except QueueFull as error:
                 return self._queue_full(error)
+        self.last_trace_id = ctx.trace_id
         payload = {
             "id": record.id,
             "state": record.state,
@@ -493,8 +740,9 @@ class CampaignApp:
         if trace is not None:
             # The sender's run span rode the envelope; the commit itself is
             # a receiver-side child span (duration on *our* clock).
-            with span("results.commit", parent=trace, records=len(records)):
+            with span("results.commit", parent=trace, records=len(records)) as ctx:
                 written = store.commit_records(records, now=now)
+            self.last_trace_id = ctx.trace_id
         else:
             written = store.commit_records(records, now=now)
         return Response.json(
@@ -597,6 +845,7 @@ class CampaignApp:
         spec, trace = decode_submit(request.body)
         with span("cluster.submit", parent=trace, campaign=spec.short_id()) as ctx:
             payload = coordinator.submit(spec)
+        self.last_trace_id = ctx.trace_id
         payload["url"] = f"/cluster/campaigns/{payload['id']}"
         payload["trace_id"] = ctx.trace_id
         return Response.json(payload, status=202)
@@ -672,13 +921,21 @@ class _CampaignRequestHandler(BaseHTTPRequestHandler):
         for name, value in response.headers.items():
             self.send_header(name, value)
         self.end_headers()
-        for chunk in response.stream:
-            if not chunk:
-                continue
-            self.wfile.write(f"{len(chunk):x}\r\n".encode("ascii"))
-            self.wfile.write(chunk)
-            self.wfile.write(b"\r\n")
-        self.wfile.write(b"0\r\n\r\n")
+        stream = response.stream
+        try:
+            for chunk in stream:
+                if not chunk:
+                    continue
+                self.wfile.write(f"{len(chunk):x}\r\n".encode("ascii"))
+                self.wfile.write(chunk)
+                self.wfile.write(b"\r\n")
+            self.wfile.write(b"0\r\n\r\n")
+        finally:
+            # A disconnect mid-stream must still release the producer (for
+            # event streams, the subscription detaches in its finally).
+            close = getattr(stream, "close", None)
+            if close is not None:
+                close()
 
     def _handle(self) -> None:
         try:
@@ -721,8 +978,16 @@ class CampaignServer:
         quiet: bool = True,
         cluster: Optional[ClusterConfig] = None,
         advertise_host: Optional[str] = None,
+        telemetry_interval: Optional[float] = None,
+        telemetry_keep: int = 1000,
     ) -> None:
-        self.app = CampaignApp(store, settings, cluster=cluster)
+        self.app = CampaignApp(
+            store,
+            settings,
+            cluster=cluster,
+            telemetry_interval=telemetry_interval,
+            telemetry_keep=telemetry_keep,
+        )
         handler = type(
             "BoundCampaignRequestHandler",
             (_CampaignRequestHandler,),

@@ -13,6 +13,15 @@ Endpoints
     This instance's metrics registry in Prometheus text format.
 ``GET  /trace/{trace_id}``
     The span tree this process recorded for one trace id (JSON).
+``GET  /profile?seconds=N&hz=H``
+    Sample this process' thread stacks for N seconds; folded-stack
+    (flamegraph ``collapse``) text.
+``GET  /events/stream``
+    Long-lived chunked JSONL push stream of this instance's structured
+    events (``?event=`` filters to one kind).
+``GET  /telemetry/history``
+    Persisted metrics snapshots plus the regression-delta report across
+    runs and code versions (JSON).
 ``POST /predict``
     Synchronous fast path: one model prediction, answered in-request from
     the hot model-batch cache (no campaign queue, no store write).
@@ -33,6 +42,9 @@ Endpoints
     A rendered report table (``format=json|jsonl|text``).
 ``GET  /campaigns/{id}/export``
     The campaign's results, streamed as deterministic JSONL.
+``GET  /campaigns/{id}/stream``
+    Long-lived chunked JSONL push stream of one campaign's per-job
+    completions (ends with a ``campaign_run_finished`` line).
 ``POST /results/commit``
     Wire-native result path: a JSONL batch of store records committed to
     this instance's store (idempotent — keys are content addresses).
@@ -107,6 +119,9 @@ _ROUTES: Tuple[Tuple[str, "re.Pattern[str]", str], ...] = tuple(
         ("GET", r"^/healthz$", "health"),
         ("GET", r"^/metrics$", "metrics_endpoint"),
         ("GET", r"^/trace/(?P<tid>[0-9a-f]+)$", "trace_endpoint"),
+        ("GET", r"^/profile$", "profile_endpoint"),
+        ("GET", r"^/events/stream$", "events_stream"),
+        ("GET", r"^/telemetry/history$", "telemetry_history"),
         ("POST", r"^/predict$", "predict_endpoint"),
         ("POST", r"^/tune$", "tune_endpoint"),
         ("POST", r"^/campaigns$", "submit_campaign"),
@@ -116,6 +131,7 @@ _ROUTES: Tuple[Tuple[str, "re.Pattern[str]", str], ...] = tuple(
         ("GET", r"^/campaigns/(?P<cid>[A-Za-z0-9_-]+)$", "campaign_status"),
         ("GET", r"^/campaigns/(?P<cid>[A-Za-z0-9_-]+)/report$", "campaign_report"),
         ("GET", r"^/campaigns/(?P<cid>[A-Za-z0-9_-]+)/export$", "campaign_export"),
+        ("GET", r"^/campaigns/(?P<cid>[A-Za-z0-9_-]+)/stream$", "campaign_stream"),
         ("POST", r"^/results/commit$", "commit_results"),
         ("POST", r"^/results/statuses$", "result_statuses"),
         ("POST", r"^/cluster/register$", "cluster_register"),
@@ -205,7 +221,13 @@ def dispatch(app: object, request: Request) -> Response:
         raise
     finally:
         in_flight.dec()
-        latency.observe(time.perf_counter() - start, route=handler_name)
+        # The most recent trace id rides the latency histogram as an
+        # OpenMetrics exemplar, linking a scrape straight to /trace/{id}.
+        latency.observe(
+            time.perf_counter() - start,
+            exemplar=getattr(app, "last_trace_id", None),
+            route=handler_name,
+        )
         requests_total.inc(route=handler_name, method=request.method, code=str(status))
         if error_class is None and status >= 500:
             error_class = "InternalError"

@@ -308,7 +308,10 @@ class CampaignWorker:
         )
 
     def _scheduler(
-        self, spec: CampaignSpec, plan: Optional[ShardPlan] = None
+        self,
+        spec: CampaignSpec,
+        plan: Optional[ShardPlan] = None,
+        campaign_id: Optional[str] = None,
     ) -> CampaignScheduler:
         """One scheduler per use, always under one shard plan — execution,
         progress counts and export key sets must agree on which slice of the
@@ -321,6 +324,7 @@ class CampaignWorker:
             retries=self.settings.retries,
             plan=plan if plan is not None else self._default_plan,
             metrics=self.metrics,
+            campaign_id=campaign_id,
         )
 
     def _execute(
@@ -334,7 +338,7 @@ class CampaignWorker:
         # issued inside the scheduler inherit it.
         with record.run_lock:
             with span("campaign.run", parent=record.trace, campaign=record.id):
-                return self._scheduler(spec, plan).run()
+                return self._scheduler(spec, plan, campaign_id=record.id).run()
 
     # -- submission / inspection ----------------------------------------------
     def submit(

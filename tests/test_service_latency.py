@@ -336,12 +336,28 @@ def test_cluster_client_honours_retry_after(tmp_path, monkeypatch):
         host="127.0.0.1", port=0, store=tmp_path / "svc.sqlite",
         settings=WorkerSettings(workers=1, concurrency=1, max_queued=1),
     ) as server:
-        client = ClusterClient(retries=1)
-        accepted = client.post_json(server.url + "/campaigns", SPEC_JSON)
-        assert accepted["state"] in ("queued", "running")
-        distinct = dict(SPEC_JSON, time_steps=101)
-        with pytest.raises(ClusterHTTPError) as caught:
-            client.post_json(server.url + "/campaigns", distinct)
+        # Gate the first campaign's execution open-ended: the queue slot must
+        # still be occupied when the second submission arrives, however slowly
+        # this machine schedules the client between the two posts.
+        gate = threading.Event()
+        real_scheduler = server.app.worker._scheduler
+
+        def gated_scheduler(spec, plan=None, campaign_id=None):
+            scheduler = real_scheduler(spec, plan, campaign_id=campaign_id)
+            original_run = scheduler.run
+            scheduler.run = lambda: (gate.wait(timeout=60), original_run())[1]
+            return scheduler
+
+        monkeypatch.setattr(server.app.worker, "_scheduler", gated_scheduler)
+        try:
+            client = ClusterClient(retries=1)
+            accepted = client.post_json(server.url + "/campaigns", SPEC_JSON)
+            assert accepted["state"] in ("queued", "running")
+            distinct = dict(SPEC_JSON, time_steps=101)
+            with pytest.raises(ClusterHTTPError) as caught:
+                client.post_json(server.url + "/campaigns", distinct)
+        finally:
+            gate.set()  # release the worker so server shutdown is prompt
     assert caught.value.status == 429
     assert caught.value.retry_after is not None and caught.value.retry_after >= 1.0
     assert caught.value.retryable
